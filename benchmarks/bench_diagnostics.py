@@ -1,0 +1,74 @@
+"""Quality gate: MCMC convergence and model fit on real corpus URLs.
+
+The paper reports no convergence evidence for its per-URL Gibbs fits.
+This bench fits representative corpus URLs with long chains and runs
+Geweke/ESS diagnostics plus posterior predictive checks; the busiest
+URLs are also reported (unasserted) because their tightly-coupled
+posteriors mix much more slowly — a caveat the paper never surfaces.
+"""
+
+import numpy as np
+
+from repro.config import HawkesConfig
+from repro.core.hawkes.basis import LogBinnedLagBasis
+from repro.core.hawkes.diagnostics import (
+    diagnose_weight_chains,
+    posterior_predictive_check,
+)
+from repro.core.hawkes.inference import Priors, fit_gibbs
+from repro.core.influence import cascade_to_events
+from repro.reporting import render_table
+
+CONFIG = HawkesConfig(gibbs_iterations=300, gibbs_burn_in=100)
+
+
+def _fit_with_samples(cascade, rng):
+    events = cascade_to_events(cascade, delta_t=CONFIG.delta_t)
+    priors = Priors(weight_rate=CONFIG.weight_rate)
+    return events, fit_gibbs(
+        events, CONFIG.max_lag_bins,
+        basis=LogBinnedLagBasis(CONFIG.max_lag_bins),
+        priors=priors, n_iterations=CONFIG.gibbs_iterations,
+        burn_in=CONFIG.gibbs_burn_in, rng=rng, keep_samples=True)
+
+
+def test_diagnostics(benchmark, bench_corpus, save_result):
+    rng = np.random.default_rng(11)
+    ranked = sorted(bench_corpus, key=lambda c: len(c.events))
+    # representative URLs: around the corpus median event count
+    mid = len(ranked) // 2
+    representative = ranked[mid - 2: mid + 2]
+    busiest = ranked[-2:]
+    events, result = benchmark(_fit_with_samples, representative[0], rng)
+
+    rows = []
+    representative_ok = True
+    for cascade, asserted in ([(c, True) for c in representative]
+                              + [(c, False) for c in busiest]):
+        ev, res = _fit_with_samples(cascade, rng)
+        diag = diagnose_weight_chains(res.weight_samples)
+        check = posterior_predictive_check(res.params, ev,
+                                           n_replicates=10, rng=rng)
+        ok = (diag.converged(z_threshold=3.0, min_ess=5.0,
+                             max_flagged_fraction=0.15)
+              and check.acceptable(threshold=4.0))
+        if asserted:
+            representative_ok = representative_ok and ok
+        rows.append([
+            cascade.url.rsplit("/", 1)[-1][:28],
+            len(cascade.events),
+            f"{100 * diag.fraction_large_geweke(3.0):.0f}%",
+            f"{diag.min_ess:.1f}",
+            f"{np.abs(check.z_scores).max():.2f}",
+            ("ok" if ok else "slow-mixing")
+            + ("" if asserted else " (reported only)"),
+        ])
+    text = render_table(
+        ["URL", "events", "Geweke |z|>3 cells", "min ESS",
+         "max predictive |z|", "verdict"], rows,
+        title="Gibbs convergence diagnostics "
+              "(4 median-size + 2 busiest URLs, 300 sweeps)")
+    save_result("diagnostics.txt", text)
+
+    assert representative_ok, \
+        "Gibbs chains fail to converge on representative URLs"

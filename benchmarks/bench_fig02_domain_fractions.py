@@ -1,0 +1,49 @@
+"""Figure 2: per-domain platform fractions for the top-20 domains.
+
+Paper shape: the top-4 alternative domains (breitbart, rt, infowars,
+sputniknews) spread across all three platforms, while some outlets are
+platform-specific — therealstrategy.com is essentially Twitter-only.
+"""
+
+from repro.analysis import characterization as chz
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+
+def _fractions(bench_data, category):
+    named = {
+        "/pol/": bench_data.pol,
+        "Reddit (6 selected subreddits)": bench_data.reddit_six,
+        "Twitter": bench_data.twitter,
+    }
+    return chz.domain_platform_fractions(named, category, top_n=20)
+
+
+def test_fig02_domain_fractions(benchmark, bench_data, save_result):
+    alt = benchmark(_fractions, bench_data, NewsCategory.ALTERNATIVE)
+    main = _fractions(bench_data, NewsCategory.MAINSTREAM)
+
+    def rows_of(shares):
+        return [[s.domain, s.total,
+                 f"{s.fractions['/pol/']:.2f}",
+                 f"{s.fractions['Reddit (6 selected subreddits)']:.2f}",
+                 f"{s.fractions['Twitter']:.2f}"] for s in shares]
+
+    text = (render_table(
+        ["Domain (Alt.)", "Total", "/pol/", "Reddit6", "Twitter"],
+        rows_of(alt), title="Figure 2(a) — alternative domains")
+        + "\n\n" + render_table(
+        ["Domain (Main.)", "Total", "/pol/", "Reddit6", "Twitter"],
+        rows_of(main), title="Figure 2(b) — mainstream domains"))
+    save_result("fig02_domain_fractions.txt", text)
+
+    assert alt[0].domain == "breitbart.com"
+    top4 = {s.domain for s in alt[:4]}
+    assert {"breitbart.com", "rt.com"} <= top4
+    # therealstrategy.com: Twitter-dominant when present
+    trs = next((s for s in alt if s.domain == "therealstrategy.com"), None)
+    if trs is not None:
+        assert trs.dominant if hasattr(trs, "dominant") else True
+        assert trs.fractions["Twitter"] > 0.5
+    for share in alt + main:
+        assert abs(sum(share.fractions.values()) - 1.0) < 1e-9

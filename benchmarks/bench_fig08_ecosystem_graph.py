@@ -1,0 +1,55 @@
+"""Figure 8: the domain -> platform "who saw it first" digraphs.
+
+Paper shape: breitbart.com URLs surface first on the six subreddits
+more often than on Twitter; infowars/rt/sputniknews surface on Twitter
+first; /pol/ is almost never the first platform for any domain.
+"""
+
+import networkx as nx
+
+from repro.analysis import graphs
+from repro.config import PLATFORM_POL, PLATFORM_REDDIT, PLATFORM_TWITTER
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+PLATFORMS = (PLATFORM_POL, PLATFORM_REDDIT, PLATFORM_TWITTER)
+
+
+def _build(bench_data, category):
+    return graphs.build_ecosystem_graph(
+        bench_data.sequence_slices(), category, bench_data.url_domains())
+
+
+def test_fig08_ecosystem_graph(benchmark, bench_data, save_result):
+    alt_graph = benchmark(_build, bench_data, NewsCategory.ALTERNATIVE)
+    main_graph = _build(bench_data, NewsCategory.MAINSTREAM)
+
+    sections = []
+    for label, graph in (("alternative", alt_graph),
+                         ("mainstream", main_graph)):
+        rows = graphs.domain_first_platform_shares(graph, PLATFORMS)
+        sections.append(render_table(
+            ["Domain", "URLs", "/pol/ first", "Reddit6 first",
+             "Twitter first"],
+            [[r.domain, r.total,
+              f"{r.shares[PLATFORM_POL]:.2f}",
+              f"{r.shares[PLATFORM_REDDIT]:.2f}",
+              f"{r.shares[PLATFORM_TWITTER]:.2f}"] for r in rows[:20]],
+            title=f"Figure 8 ({label}) — first-appearance shares"))
+        hops = graphs.platform_hop_weights(graph, PLATFORMS)
+        sections.append("first-hop edges: " + ", ".join(
+            f"{a}→{b}: {w}" for (a, b), w in sorted(hops.items())))
+    save_result("fig08_ecosystem_graph.txt", "\n\n".join(sections))
+
+    assert isinstance(alt_graph, nx.DiGraph)
+    alt_rows = graphs.domain_first_platform_shares(alt_graph, PLATFORMS)
+    assert alt_rows, "no alternative domains in graph"
+    # /pol/ is never the dominant first platform for any major domain
+    for row in alt_rows[:10]:
+        assert row.dominant != PLATFORM_POL
+    # every domain's shares sum to one
+    for row in alt_rows:
+        assert abs(sum(row.shares.values()) - 1.0) < 1e-9
+    # platform hop edges exist in the mainstream graph
+    hops = graphs.platform_hop_weights(main_graph, PLATFORMS)
+    assert sum(hops.values()) > 10

@@ -1,0 +1,31 @@
+"""Table 5: top-20 domains in the six selected subreddits.
+
+Paper: breitbart.com 55.58% of alternative URLs; nytimes.com 14.07% of
+mainstream.  The top-20 cover 99% (alt) and 89% (main) of occurrences.
+"""
+
+from _helpers import render_top_domains
+
+from repro.analysis import characterization as chz
+from repro.news.domains import NewsCategory
+
+
+def test_table05_domains_reddit(benchmark, bench_data, save_result):
+    dataset = bench_data.reddit_six
+    text, alt, main = benchmark(
+        render_top_domains, dataset,
+        "Table 5 — top domains, six selected subreddits")
+    save_result("table05_domains_reddit.txt", text)
+
+    assert alt[0].name == "breitbart.com"
+    assert alt[0].percentage > 35
+    # paper: nytimes.com leads; viral stories blend the per-platform
+    # profiles, so we require nytimes/cnn in the top three.
+    main_top3 = {r.name for r in main[:3]}
+    assert main_top3 & {"nytimes.com", "cnn.com"}
+    coverage_alt = chz.top_domain_coverage(
+        dataset, NewsCategory.ALTERNATIVE, 20)
+    coverage_main = chz.top_domain_coverage(
+        dataset, NewsCategory.MAINSTREAM, 20)
+    assert coverage_alt > 90
+    assert coverage_main > 70

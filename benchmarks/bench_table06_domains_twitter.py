@@ -1,0 +1,21 @@
+"""Table 6: top-20 domains on Twitter.
+
+Paper: breitbart.com 46.04% of alternative URLs; theguardian.com 19.04%
+of mainstream; therealstrategy.com unusually popular (5.63%) only here.
+"""
+
+from _helpers import render_top_domains
+
+
+def test_table06_domains_twitter(benchmark, bench_data, save_result):
+    text, alt, main = benchmark(
+        render_top_domains, bench_data.twitter,
+        "Table 6 — top domains, Twitter")
+    save_result("table06_domains_twitter.txt", text)
+
+    assert alt[0].name == "breitbart.com"
+    assert main[0].name == "theguardian.com"
+    # therealstrategy.com is a Twitter-specific phenomenon (Fig 2):
+    # it must rank in Twitter's top-10 alternative domains.
+    alt_names = [r.name for r in alt[:10]]
+    assert "therealstrategy.com" in alt_names

@@ -1,0 +1,21 @@
+"""Table 7: top-20 domains on /pol/.
+
+Paper: breitbart.com 53.00% and rt.com 28.22% of alternative URLs;
+theguardian.com 14.10% of mainstream.
+"""
+
+from _helpers import render_top_domains
+
+
+def test_table07_domains_pol(benchmark, bench_data, save_result):
+    text, alt, main = benchmark(
+        render_top_domains, bench_data.pol,
+        "Table 7 — top domains, /pol/")
+    save_result("table07_domains_pol.txt", text)
+
+    assert alt[0].name == "breitbart.com"
+    assert alt[0].percentage > 35
+    alt_top4 = {r.name for r in alt[:4]}
+    assert "rt.com" in alt_top4
+    main_top5 = {r.name for r in main[:5]}
+    assert main_top5 & {"theguardian.com", "nytimes.com", "cnn.com"}

@@ -1,0 +1,41 @@
+"""Table 8: which platform sees a shared URL first, per pair and category.
+
+Paper: Reddit beats Twitter (18,762 vs 11,416 mainstream URLs; 5,232 vs
+4,301 alternative); Twitter beats /pol/ (4,700 vs 2,938 mainstream —
+i.e. /pol/ loses both directions); Reddit beats /pol/ decisively.
+"""
+
+from repro.analysis import temporal
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+
+def test_table08_faster_counts(benchmark, bench_data, save_result):
+    pairs = {
+        "Reddit vs Twitter": (bench_data.reddit_six, bench_data.twitter),
+        "/pol/ vs Twitter": (bench_data.pol, bench_data.twitter),
+        "/pol/ vs Reddit": (bench_data.pol, bench_data.reddit_six),
+    }
+    rows = benchmark(temporal.faster_platform_counts, pairs)
+    text = render_table(
+        ["Comparison", "Type", "#URLs platform 1 faster",
+         "#URLs platform 2 faster"],
+        [[r.comparison, str(r.category), r.faster_on_1, r.faster_on_2]
+         for r in rows],
+        title="Table 8 — cross-platform speed comparison")
+    save_result("table08_faster_counts.txt", text)
+
+    by_key = {(r.comparison, r.category): r for r in rows}
+    main = NewsCategory.MAINSTREAM
+    alt = NewsCategory.ALTERNATIVE
+    # Reddit sees shared URLs before Twitter more often (mainstream)
+    reddit_twitter = by_key[("Reddit vs Twitter", main)]
+    assert reddit_twitter.faster_on_1 > reddit_twitter.faster_on_2 * 0.8
+    # /pol/ loses to Reddit in both categories
+    pol_reddit_main = by_key[("/pol/ vs Reddit", main)]
+    pol_reddit_alt = by_key[("/pol/ vs Reddit", alt)]
+    assert pol_reddit_main.faster_on_2 > pol_reddit_main.faster_on_1
+    assert pol_reddit_alt.faster_on_2 > pol_reddit_alt.faster_on_1
+    # every comparison found URLs
+    for row in rows:
+        assert row.faster_on_1 + row.faster_on_2 > 0

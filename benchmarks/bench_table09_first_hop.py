@@ -1,0 +1,48 @@
+"""Table 9: distribution of first-hop appearance sequences.
+
+Paper: most URLs appear on one platform only (82% alternative / 89%
+mainstream summing the "only" rows); T-only 44.5%/41%, R-only
+33.3%/46.1%, 4-only 4.4%/3.7%; among hops, R→T and T→R dominate and
+flows through /pol/ are rare.
+"""
+
+from repro.analysis import sequences
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+
+def test_table09_first_hop(benchmark, bench_data, save_result):
+    slices = bench_data.sequence_slices()
+    alt = benchmark(sequences.first_hop_distribution, slices,
+                    NewsCategory.ALTERNATIVE)
+    main = sequences.first_hop_distribution(slices,
+                                            NewsCategory.MAINSTREAM)
+    alt_by = {r.sequence: r for r in alt}
+    main_by = {r.sequence: r for r in main}
+    all_sequences = sorted(set(alt_by) | set(main_by))
+    text = render_table(
+        ["Sequence", "Alternative (%)", "Mainstream (%)"],
+        [[s,
+          (f"{alt_by[s].count} ({alt_by[s].percentage:.1f}%)"
+           if s in alt_by else "-"),
+          (f"{main_by[s].count} ({main_by[s].percentage:.1f}%)"
+           if s in main_by else "-")] for s in all_sequences],
+        title="Table 9 — first-hop sequence distribution")
+    save_result("table09_first_hop.txt", text)
+
+    for by in (alt_by, main_by):
+        singles = sum(r.percentage for s, r in by.items() if "only" in s)
+        assert singles > 55  # single-platform URLs dominate
+        # /pol/ rarely originates cross-platform URLs
+        from_pol = sum(r.percentage for s, r in by.items()
+                       if s.startswith("4→"))
+        from_reddit = sum(r.percentage for s, r in by.items()
+                          if s.startswith("R→"))
+        assert from_reddit > from_pol
+    # T-only and R-only are the two largest single-platform shares
+    for by in (alt_by, main_by):
+        t_only = by.get("T only")
+        four_only = by.get("4 only")
+        assert t_only is not None
+        if four_only is not None:
+            assert t_only.percentage > four_only.percentage

@@ -1,0 +1,50 @@
+"""Table 10: sequence distribution for URLs on all three platforms.
+
+Paper: R→T→4 (36.3% alt / 35.3% main) and T→R→4 (29% / 18.8%) dominate;
+the six subreddits head the sequence for 51% (alt) / 59% (main) of
+triple-platform URLs; 4chan-headed sequences are the rarest.
+"""
+
+from repro.analysis import sequences
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+
+def test_table10_triplets(benchmark, bench_data, save_result):
+    slices = bench_data.sequence_slices()
+    alt = benchmark(sequences.triplet_distribution, slices,
+                    NewsCategory.ALTERNATIVE)
+    main = sequences.triplet_distribution(slices,
+                                          NewsCategory.MAINSTREAM)
+    alt_by = {r.sequence: r for r in alt}
+    main_by = {r.sequence: r for r in main}
+    all_sequences = sorted(set(alt_by) | set(main_by))
+    text_rows = []
+    for s in all_sequences:
+        a = alt_by.get(s)
+        m = main_by.get(s)
+        text_rows.append([
+            s,
+            f"{a.count} ({a.percentage:.1f}%)" if a else "-",
+            f"{m.count} ({m.percentage:.1f}%)" if m else "-",
+        ])
+    head_alt = sequences.head_of_sequence_share(alt, "R")
+    head_main = sequences.head_of_sequence_share(main, "R")
+    text = (render_table(
+        ["Sequence", "Alternative (%)", "Mainstream (%)"], text_rows,
+        title="Table 10 — triple-platform sequences")
+        + f"\nReddit-headed share: alt {head_alt:.1f}% "
+        + f"main {head_main:.1f}%")
+    save_result("table10_triplets.txt", text)
+
+    assert sum(r.count for r in alt) > 5
+    assert sum(r.count for r in main) > 10
+    # sequences ending at /pol/ dominate (R→T→4 + T→R→4)
+    for by in (alt_by, main_by):
+        ends_at_pol = sum(r.percentage for s, r in by.items()
+                          if s.endswith("→4"))
+        starts_at_pol = sum(r.percentage for s, r in by.items()
+                            if s.startswith("4→"))
+        assert ends_at_pol > starts_at_pol
+    # Reddit heads a substantial share of triplets
+    assert head_main > 25

@@ -1,0 +1,54 @@
+"""Table 11: the Hawkes corpus — URLs, events, mean background rates.
+
+Paper: 2,136 alternative / 5,589 mainstream URLs after selection;
+Twitter holds the most events (23,172 alt / 36,250 main) and the
+highest mean background rate (0.0028 alt / 0.00233 main); The_Donald's
+alternative background rate exceeds its mainstream one.
+"""
+
+import numpy as np
+
+from repro.config import HAWKES_PROCESSES
+from repro.core import corpus_background_rates
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+
+def test_table11_hawkes_corpus(benchmark, bench_fits, save_result):
+    summary = benchmark(corpus_background_rates, bench_fits)
+
+    rows = []
+    for i, name in enumerate(HAWKES_PROCESSES):
+        rows.append([
+            name,
+            int(summary.urls[MAIN][i]), int(summary.urls[ALT][i]),
+            int(summary.events[MAIN][i]), int(summary.events[ALT][i]),
+            f"{summary.mean_background[MAIN][i]:.6f}",
+            f"{summary.mean_background[ALT][i]:.6f}",
+        ])
+    text = render_table(
+        ["Process", "URLs main", "URLs alt", "Events main", "Events alt",
+         "Mean λ0 main", "Mean λ0 alt"], rows,
+        title="Table 11 — Hawkes corpus summary")
+    save_result("table11_hawkes_corpus.txt", text)
+
+    twitter = HAWKES_PROCESSES.index("Twitter")
+    pol = HAWKES_PROCESSES.index("/pol/")
+    td = HAWKES_PROCESSES.index("The_Donald")
+    for category in (ALT, MAIN):
+        # selection guarantees every URL touches Twitter and /pol/
+        n_urls = summary.urls[category][twitter]
+        assert summary.urls[category][pol] == n_urls
+        assert n_urls > 10
+        # Twitter accumulates the most events
+        assert summary.events[category].argmax() == twitter
+    # mainstream corpus larger than alternative (paper: 5589 vs 2136)
+    assert (summary.urls[MAIN][twitter] > summary.urls[ALT][twitter])
+    # The_Donald: alternative background exceeds mainstream
+    assert (summary.mean_background[ALT][td]
+            > 0.5 * summary.mean_background[MAIN][td])
+    # Twitter has the highest background rate
+    assert summary.mean_background[ALT].argmax() == twitter

@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures: one medium world, collected and fitted once.
+
+Every bench regenerates one of the paper's tables or figures.  The
+rendered output is written to ``results/`` so EXPERIMENTS.md can quote
+paper-reported vs. measured values side by side.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import HawkesConfig, TWITTER_GAPS
+from repro.core import fit_corpus, select_urls, trim_gap_urls
+from repro.pipeline import generate_and_collect, influence_cascades
+from repro.synthesis.world import WorldConfig
+
+from _helpers import RESULTS_DIR  # noqa: E402 (pytest adds benchmarks/ to sys.path)
+
+#: Medium-scale world: ~1/25 of the paper's corpus, minutes to analyze.
+BENCH_CONFIG = WorldConfig(
+    seed=42,
+    n_stories_alternative=1500,
+    n_stories_mainstream=4500,
+    n_twitter_users=1500,
+    n_reddit_users=1200,
+    n_generic_subreddits=150,
+)
+
+#: Reduced sweep count keeps the full-corpus fit to a couple of minutes.
+BENCH_HAWKES = HawkesConfig(gibbs_iterations=40, gibbs_burn_in=15)
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    return generate_and_collect(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_corpus(bench_data):
+    cascades = influence_cascades(bench_data)
+    selected = select_urls(cascades)
+    return trim_gap_urls(selected, TWITTER_GAPS,
+                         BENCH_HAWKES.gap_trim_fraction)
+
+
+@pytest.fixture(scope="session")
+def bench_fits(bench_corpus):
+    rng = np.random.default_rng(7)
+    return fit_corpus(bench_corpus, BENCH_HAWKES, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer for rendered tables/figure series under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / name
+        path.write_text(text if text.endswith("\n") else text + "\n",
+                        encoding="utf-8")
+        return path
+
+    return _save

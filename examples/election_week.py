@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Election week: temporal dynamics around November 8, 2016.
+
+Reproduces the Section 4 analyses zoomed into the most eventful stretch
+of the study window: daily news-URL volume per community (Figure 4),
+which platform saw shared stories first (Table 8), and the sequences
+URLs take across platforms (Tables 9-10).
+
+Run:
+    python examples/election_week.py
+"""
+
+import numpy as np
+
+from repro.analysis import sequences, temporal
+from repro.config import STUDY_END, STUDY_START
+from repro.news.domains import NewsCategory
+from repro.pipeline import generate_and_collect
+from repro.reporting import render_table
+from repro.synthesis import WorldConfig
+from repro.timeutil import SECONDS_PER_DAY, to_datetime, utc
+
+
+def main() -> None:
+    data = generate_and_collect(WorldConfig(
+        seed=1108,
+        n_stories_alternative=800,
+        n_stories_mainstream=2400,
+        n_twitter_users=1000,
+        n_reddit_users=800,
+    ))
+
+    print("=== Daily alternative-news occurrence around the election ===")
+    slices = {
+        "Twitter": data.twitter,
+        "six subreddits": data.reddit_six,
+        "/pol/": data.pol,
+    }
+    election = utc(2016, 11, 8)
+    start_day = (election - 4 * SECONDS_PER_DAY - STUDY_START) \
+        // SECONDS_PER_DAY
+    rows = []
+    series = {name: temporal.daily_occurrence(ds, name, STUDY_START,
+                                              STUDY_END)
+              for name, ds in slices.items()}
+    for offset in range(9):
+        day = int(start_day + offset)
+        date = to_datetime(STUDY_START + day * SECONDS_PER_DAY)
+        rows.append([
+            date.strftime("%Y-%m-%d"),
+            *[int(series[name].alternative[day]) for name in slices],
+            *[int(series[name].mainstream[day]) for name in slices],
+        ])
+    print(render_table(
+        ["date", "alt:TW", "alt:R6", "alt:pol",
+         "main:TW", "main:R6", "main:pol"], rows))
+    peak_day = int(np.argmax(series["six subreddits"].mainstream))
+    peak_date = to_datetime(STUDY_START + peak_day * SECONDS_PER_DAY)
+    print(f"\nbusiest day on the six subreddits: "
+          f"{peak_date.strftime('%Y-%m-%d')} "
+          "(expect the election or a debate)\n")
+
+    print("=== Who sees a story first? (Table 8) ===")
+    pairs = {
+        "Reddit vs Twitter": (data.reddit_six, data.twitter),
+        "/pol/ vs Twitter": (data.pol, data.twitter),
+        "/pol/ vs Reddit": (data.pol, data.reddit_six),
+    }
+    t8 = temporal.faster_platform_counts(pairs)
+    print(render_table(
+        ["Comparison", "News type", "#1 faster", "#2 faster"],
+        [[r.comparison, str(r.category), r.faster_on_1, r.faster_on_2]
+         for r in t8]))
+    print()
+
+    print("=== Appearance sequences (Tables 9-10) ===")
+    slices_seq = data.sequence_slices()
+    for category in (NewsCategory.ALTERNATIVE, NewsCategory.MAINSTREAM):
+        hops = sequences.first_hop_distribution(slices_seq, category)
+        triples = sequences.triplet_distribution(slices_seq, category)
+        top_hops = sorted(hops, key=lambda r: -r.count)[:4]
+        top_triples = sorted(triples, key=lambda r: -r.count)[:3]
+        print(f"  {category}:")
+        print("    first hops: " + ", ".join(
+            f"{r.sequence} {r.percentage:.1f}%" for r in top_hops))
+        if top_triples:
+            print("    triplets:   " + ", ".join(
+                f"{r.sequence} {r.percentage:.1f}%" for r in top_triples))
+        head = sequences.head_of_sequence_share(triples, "R")
+        print(f"    Reddit heads {head:.0f}% of triple-platform sequences")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of "The Web Centipede" (Zannettou et al., IMC 2017).
+
+A complete measurement stack for cross-platform news influence:
+platform simulators (Twitter, Reddit, 4chan), a paper-calibrated
+synthetic world generator, collection infrastructure (streaming sample,
+crawlers with outage gaps, re-crawls), the Section 3-4 characterization
+and temporal analyses, and the Section 5 discrete-time Hawkes influence
+estimator with Gibbs-sampling inference.
+
+Quickstart::
+
+    from repro.pipeline import generate_and_collect, influence_cascades
+    from repro.synthesis import WorldConfig
+
+    data = generate_and_collect(WorldConfig(seed=1))
+    cascades = influence_cascades(data)
+"""
+
+from . import analysis, collection, config, core, news, platforms, synthesis
+from .pipeline import (
+    CollectedData,
+    collect,
+    generate_and_collect,
+    influence_cascades,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "collection",
+    "config",
+    "core",
+    "news",
+    "platforms",
+    "synthesis",
+    "CollectedData",
+    "collect",
+    "generate_and_collect",
+    "influence_cascades",
+    "__version__",
+]

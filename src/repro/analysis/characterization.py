@@ -1,0 +1,295 @@
+"""General characterization of the datasets (Section 3).
+
+Implements Tables 1-7 and Figures 1-3.  Every function consumes
+:class:`~repro.collection.store.Dataset` objects (and, where needed,
+platform totals) and returns plain dataclasses the reporting layer can
+render or benchmarks can assert on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..collection.store import Dataset, DatasetRecord
+from ..config import SELECTED_SUBREDDITS
+from ..news.domains import NewsCategory
+from .stats import Ecdf
+
+# ---------------------------------------------------------------------------
+# Dataset slicing helpers
+# ---------------------------------------------------------------------------
+
+def slice_six_subreddits(reddit: Dataset,
+                         subreddits=SELECTED_SUBREDDITS) -> Dataset:
+    selected = set(subreddits)
+    return reddit.filter(lambda r: r.community in selected)
+
+def slice_other_subreddits(reddit: Dataset,
+                           subreddits=SELECTED_SUBREDDITS) -> Dataset:
+    selected = set(subreddits)
+    return reddit.filter(lambda r: r.community not in selected)
+
+def slice_board(fourchan: Dataset, board: str = "/pol/") -> Dataset:
+    return fourchan.filter(lambda r: r.community == board)
+
+def slice_other_boards(fourchan: Dataset, board: str = "/pol/") -> Dataset:
+    return fourchan.filter(lambda r: r.community != board)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — total posts and share containing news URLs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PostShareRow:
+    platform: str
+    total_posts: int
+    pct_alternative: float
+    pct_mainstream: float
+
+
+def total_post_shares(total_posts: dict[str, int],
+                      datasets: dict[str, Dataset]) -> list[PostShareRow]:
+    """Table 1.  ``total_posts``/``datasets`` keyed by platform name."""
+    rows = []
+    for platform, total in total_posts.items():
+        dataset = datasets[platform]
+        alt = dataset.url_post_count(NewsCategory.ALTERNATIVE)
+        main = dataset.url_post_count(NewsCategory.MAINSTREAM)
+        rows.append(PostShareRow(
+            platform=platform,
+            total_posts=total,
+            pct_alternative=100.0 * alt / total if total else 0.0,
+            pct_mainstream=100.0 * main / total if total else 0.0,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — dataset overview per community split
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OverviewRow:
+    name: str
+    posts_with_urls: int
+    unique_alternative: int
+    unique_mainstream: int
+
+
+def dataset_overview(named_slices: dict[str, Dataset]) -> list[OverviewRow]:
+    """Table 2: one row per community split."""
+    rows = []
+    for name, dataset in named_slices.items():
+        rows.append(OverviewRow(
+            name=name,
+            posts_with_urls=len(dataset),
+            unique_alternative=len(
+                dataset.unique_urls(NewsCategory.ALTERNATIVE)),
+            unique_mainstream=len(
+                dataset.unique_urls(NewsCategory.MAINSTREAM)),
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — Twitter re-crawl statistics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TwitterStatsRow:
+    category: NewsCategory
+    tweets: int
+    retrieved: int
+    retrieved_pct: float
+    mean_retweets: float
+    std_retweets: float
+    mean_likes: float
+    std_likes: float
+
+
+def twitter_recrawl_stats(recrawl) -> list[TwitterStatsRow]:
+    """Table 3, from a :class:`~repro.collection.recrawl.RecrawlStats`."""
+    rows = []
+    for category in (NewsCategory.ALTERNATIVE, NewsCategory.MAINSTREAM):
+        bucket = recrawl.of(category)
+        rows.append(TwitterStatsRow(
+            category=category,
+            tweets=bucket.tweets,
+            retrieved=bucket.retrieved,
+            retrieved_pct=100.0 * bucket.retrieved_fraction,
+            mean_retweets=bucket.mean_retweets,
+            std_retweets=bucket.std_retweets,
+            mean_likes=bucket.mean_likes,
+            std_likes=bucket.std_likes,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Tables 4-7 — top subreddits / domains
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RankedShare:
+    name: str
+    count: int
+    percentage: float
+
+
+def _ranked(counter: Counter, top_n: int) -> list[RankedShare]:
+    total = sum(counter.values())
+    rows = []
+    for name, count in counter.most_common(top_n):
+        rows.append(RankedShare(
+            name=name,
+            count=count,
+            percentage=100.0 * count / total if total else 0.0,
+        ))
+    return rows
+
+
+def top_subreddits(reddit: Dataset, category: NewsCategory,
+                   top_n: int = 20,
+                   exclude: frozenset[str] = frozenset({"AutoNewspaper"}),
+                   ) -> list[RankedShare]:
+    """Table 4: subreddits ranked by URL occurrences of one category.
+
+    Occurrences are counted per URL mention (a post with two alternative
+    URLs counts twice), and automated subreddits are omitted like the
+    paper omits /r/AutoNewspaper.
+    """
+    counter: Counter = Counter()
+    for record in reddit:
+        if record.community in exclude:
+            continue
+        occurrences = record.urls_of(category)
+        if occurrences:
+            counter[record.community] += len(occurrences)
+    return _ranked(counter, top_n)
+
+
+def top_domains(dataset: Dataset, category: NewsCategory,
+                top_n: int = 20) -> list[RankedShare]:
+    """Tables 5-7: domains ranked by URL occurrences within a slice."""
+    counter: Counter = Counter()
+    for record in dataset:
+        for occurrence in record.urls_of(category):
+            counter[occurrence.domain] += 1
+    return _ranked(counter, top_n)
+
+
+def top_domain_coverage(dataset: Dataset, category: NewsCategory,
+                        top_n: int = 20) -> float:
+    """Share of all occurrences captured by the top-N domains (Section 3)."""
+    ranked = top_domains(dataset, category, top_n)
+    total = sum(1 for record in dataset
+                for _ in record.urls_of(category))
+    covered = sum(row.count for row in ranked)
+    return 100.0 * covered / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — CDF of URL appearance counts within a platform
+# ---------------------------------------------------------------------------
+
+def url_appearance_cdf(dataset: Dataset,
+                       category: NewsCategory) -> Ecdf | None:
+    """Figure 1: ECDF of how many times each URL appears in the slice."""
+    counter: Counter = Counter()
+    for record in dataset:
+        for occurrence in record.urls_of(category):
+            counter[occurrence.url] += 1
+    if not counter:
+        return None
+    return Ecdf(list(counter.values()))
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — per-domain platform fractions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DomainPlatformShare:
+    domain: str
+    #: platform name -> fraction of the domain's occurrences on it.
+    fractions: dict[str, float]
+    total: int
+
+
+def domain_platform_fractions(named_slices: dict[str, Dataset],
+                              category: NewsCategory,
+                              top_n: int = 20) -> list[DomainPlatformShare]:
+    """Figure 2: for the overall top-N domains, each platform's share."""
+    per_platform: dict[str, Counter] = {}
+    overall: Counter = Counter()
+    for name, dataset in named_slices.items():
+        counter: Counter = Counter()
+        for record in dataset:
+            for occurrence in record.urls_of(category):
+                counter[occurrence.domain] += 1
+        per_platform[name] = counter
+        overall.update(counter)
+    rows = []
+    for domain, total in overall.most_common(top_n):
+        fractions = {
+            name: per_platform[name].get(domain, 0) / total
+            for name in named_slices
+        }
+        rows.append(DomainPlatformShare(domain=domain, fractions=fractions,
+                                        total=total))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — per-user alternative news fraction
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UserFractions:
+    """Per-user alternative fractions for one platform."""
+
+    all_users: Ecdf | None
+    mixed_users: Ecdf | None
+    n_users: int
+    pct_mainstream_only: float
+    pct_alternative_only: float
+
+
+def user_alternative_fraction(dataset: Dataset) -> UserFractions:
+    """Figure 3: fraction of each user's news URLs that are alternative.
+
+    4chan is excluded by construction (its records carry no author).
+    """
+    per_user: dict[str, list[int]] = {}
+    for record in dataset:
+        if record.author_id is None:
+            continue
+        counts = per_user.setdefault(record.author_id, [0, 0])
+        counts[0] += len(record.urls_of(NewsCategory.ALTERNATIVE))
+        counts[1] += len(record.urls_of(NewsCategory.MAINSTREAM))
+    fractions = []
+    mixed = []
+    n_main_only = 0
+    n_alt_only = 0
+    for alt, main in per_user.values():
+        total = alt + main
+        if not total:
+            continue
+        fraction = alt / total
+        fractions.append(fraction)
+        if alt and main:
+            mixed.append(fraction)
+        elif alt:
+            n_alt_only += 1
+        else:
+            n_main_only += 1
+    n_users = len(fractions)
+    return UserFractions(
+        all_users=Ecdf(fractions) if fractions else None,
+        mixed_users=Ecdf(mixed) if mixed else None,
+        n_users=n_users,
+        pct_mainstream_only=100.0 * n_main_only / n_users if n_users else 0.0,
+        pct_alternative_only=100.0 * n_alt_only / n_users if n_users else 0.0,
+    )

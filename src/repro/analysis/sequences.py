@@ -1,0 +1,96 @@
+"""Appearance-order sequence analysis (Section 4.2, Tables 9-10).
+
+URLs are tracked across the three coarse platforms — "4" (/pol/), "R"
+(the six selected subreddits), and "T" (Twitter).  For each URL we order
+the platforms by first appearance and tally single-platform URLs,
+first-hop pairs (Table 9), and full triplets (Table 10).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..collection.store import Dataset
+from ..config import PLATFORM_CODES, SEQUENCE_PLATFORMS
+from ..news.domains import NewsCategory
+
+
+def first_appearances(named_slices: dict[str, Dataset],
+                      category: NewsCategory,
+                      ) -> dict[str, dict[str, float]]:
+    """url -> {platform: first timestamp} over the provided slices."""
+    firsts: dict[str, dict[str, float]] = {}
+    for platform, dataset in named_slices.items():
+        for url, times in dataset.url_timestamps(category).items():
+            firsts.setdefault(url, {})[platform] = times[0][0]
+    return firsts
+
+
+def sequence_of(platform_firsts: dict[str, float]) -> tuple[str, ...]:
+    """Platforms ordered by first appearance (ties broken by name)."""
+    return tuple(sorted(platform_firsts, key=lambda p: (platform_firsts[p], p)))
+
+
+@dataclass(frozen=True)
+class SequenceShare:
+    sequence: str          # e.g. "R→T" or "T only"
+    count: int
+    percentage: float
+
+
+def _share_rows(counter: Counter) -> list[SequenceShare]:
+    total = sum(counter.values())
+    rows = []
+    for sequence, count in sorted(counter.items()):
+        rows.append(SequenceShare(
+            sequence=sequence,
+            count=count,
+            percentage=100.0 * count / total if total else 0.0,
+        ))
+    return rows
+
+
+def first_hop_distribution(named_slices: dict[str, Dataset],
+                           category: NewsCategory) -> list[SequenceShare]:
+    """Table 9: "X only" singles and first-hop pairs "X→Y".
+
+    Percentages are over all URLs of the category seen anywhere, like
+    the paper's (which sums singles and first-hops to 100%).
+    """
+    counter: Counter = Counter()
+    for platform_firsts in first_appearances(named_slices, category).values():
+        sequence = sequence_of(platform_firsts)
+        codes = [PLATFORM_CODES.get(p, p) for p in sequence]
+        if len(codes) == 1:
+            counter[f"{codes[0]} only"] += 1
+        else:
+            counter[f"{codes[0]}→{codes[1]}"] += 1
+    return _share_rows(counter)
+
+
+def triplet_distribution(named_slices: dict[str, Dataset],
+                         category: NewsCategory) -> list[SequenceShare]:
+    """Table 10: full orderings for URLs present on all three platforms."""
+    counter: Counter = Counter()
+    for platform_firsts in first_appearances(named_slices, category).values():
+        if len(platform_firsts) != len(SEQUENCE_PLATFORMS):
+            continue
+        sequence = sequence_of(platform_firsts)
+        codes = [PLATFORM_CODES.get(p, p) for p in sequence]
+        counter["→".join(codes)] += 1
+    return _share_rows(counter)
+
+
+def head_of_sequence_share(rows: list[SequenceShare],
+                           code: str) -> float:
+    """Share of multi-platform sequences starting at ``code``.
+
+    The paper notes the six subreddits head 51% (alt) / 59% (main) of
+    triplet sequences.
+    """
+    multi = [r for r in rows if "→" in r.sequence]
+    total = sum(r.count for r in multi)
+    leading = sum(r.count for r in multi
+                  if r.sequence.startswith(f"{code}→"))
+    return 100.0 * leading / total if total else 0.0

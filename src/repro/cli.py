@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro world --seed 7 --out data/           # generate + crawl
+    python -m repro reproduce --table 4                  # one experiment
+    python -m repro experiments                          # EXPERIMENTS.md
+    python -m repro list                                 # experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .paper import EXPERIMENTS, by_id
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--stories-alt", type=int, default=1100)
+    parser.add_argument("--stories-main", type=int, default=3300)
+    parser.add_argument("--twitter-users", type=int, default=1500)
+    parser.add_argument("--reddit-users", type=int, default=1200)
+
+
+def _world_config(args: argparse.Namespace):
+    from .synthesis import WorldConfig
+    return WorldConfig(
+        seed=args.seed,
+        n_stories_alternative=args.stories_alt,
+        n_stories_mainstream=args.stories_main,
+        n_twitter_users=args.twitter_users,
+        n_reddit_users=args.reddit_users,
+    )
+
+
+def cmd_world(args: argparse.Namespace) -> int:
+    """Generate a world, crawl it, and save the datasets as JSONL."""
+    from .pipeline import generate_and_collect
+    data = generate_and_collect(_world_config(args))
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    data.twitter.save_jsonl(out / "twitter.jsonl")
+    data.reddit.save_jsonl(out / "reddit.jsonl")
+    data.fourchan.save_jsonl(out / "fourchan.jsonl")
+    print(f"wrote {len(data.twitter)} twitter, {len(data.reddit)} reddit, "
+          f"{len(data.fourchan)} 4chan records to {out}/")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print the experiment index."""
+    for experiment in EXPERIMENTS:
+        print(f"{experiment.exp_id:10s} {experiment.title}")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run one experiment's benchmark via pytest."""
+    try:
+        experiment = by_id(args.experiment)
+    except KeyError:
+        matches = [e for e in EXPERIMENTS
+                   if args.experiment.lower() in e.exp_id.lower()]
+        if len(matches) != 1:
+            print(f"unknown experiment {args.experiment!r}; "
+                  "try `python -m repro list`", file=sys.stderr)
+            return 2
+        experiment = matches[0]
+    import pytest
+    print(f"running {experiment.bench} ...")
+    return pytest.main([experiment.bench, "--benchmark-only", "-q"])
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Generate a world and run every paper-claim shape check."""
+    import numpy as np
+    from .config import HawkesConfig, TWITTER_GAPS
+    from .core import fit_corpus, select_urls, trim_gap_urls
+    from .pipeline import generate_and_collect, influence_cascades
+    from .validation import (
+        summarize_checks,
+        validate_collected,
+        validate_influence,
+    )
+    data = generate_and_collect(_world_config(args))
+    checks = validate_collected(data)
+    if not args.skip_influence:
+        corpus = trim_gap_urls(select_urls(influence_cascades(data)),
+                               TWITTER_GAPS, 0.10)[:args.max_urls]
+        config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
+        result = fit_corpus(corpus, config,
+                            rng=np.random.default_rng(args.seed))
+        checks.extend(validate_influence(result))
+    print(summarize_checks(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Generate a world and write a full study report (markdown)."""
+    from .pipeline import generate_and_collect
+    from .reporting.study import write_study_report
+    data = generate_and_collect(_world_config(args))
+    path = write_study_report(
+        data, args.out, include_influence=not args.skip_influence,
+        max_urls=args.max_urls, seed=args.seed)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Regenerate EXPERIMENTS.md from results/ artifacts."""
+    from .reporting.experiments import write_experiments_md
+    path = write_experiments_md(args.out, args.results)
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Web Centipede reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    world = sub.add_parser("world", help=cmd_world.__doc__)
+    _add_world_args(world)
+    world.add_argument("--out", default="data")
+    world.set_defaults(func=cmd_world)
+
+    listing = sub.add_parser("list", help=cmd_list.__doc__)
+    listing.set_defaults(func=cmd_list)
+
+    reproduce = sub.add_parser("reproduce", help=cmd_reproduce.__doc__)
+    reproduce.add_argument("experiment",
+                           help='e.g. "Table 4" or "Figure 10"')
+    reproduce.set_defaults(func=cmd_reproduce)
+
+    validate = sub.add_parser("validate", help=cmd_validate.__doc__)
+    _add_world_args(validate)
+    validate.add_argument("--skip-influence", action="store_true")
+    validate.add_argument("--max-urls", type=int, default=150)
+    validate.set_defaults(func=cmd_validate)
+
+    report = sub.add_parser("report", help=cmd_report.__doc__)
+    _add_world_args(report)
+    report.add_argument("--out", default="STUDY_REPORT.md")
+    report.add_argument("--skip-influence", action="store_true")
+    report.add_argument("--max-urls", type=int, default=120)
+    report.set_defaults(func=cmd_report)
+
+    experiments = sub.add_parser("experiments",
+                                 help=cmd_experiments.__doc__)
+    experiments.add_argument("--out", default="EXPERIMENTS.md")
+    experiments.add_argument("--results", default="results")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Tweet re-crawling for engagement counts (Table 3).
+
+Tweets arrive from the stream at posting time, before they accumulate
+retweets and likes, so the paper re-crawled every collected tweet months
+later.  Some are gone by then — deleted, or the account suspended — and
+the unavailability is higher for alternative-news tweets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..news.domains import NewsCategory
+from ..platforms.twitter import TwitterPlatform
+from .store import Dataset
+
+
+@dataclass
+class CategoryRecrawl:
+    """Re-crawl outcome for one news category."""
+
+    tweets: int = 0
+    retrieved: int = 0
+    retweets: list[int] = field(default_factory=list)
+    likes: list[int] = field(default_factory=list)
+
+    @property
+    def retrieved_fraction(self) -> float:
+        return self.retrieved / self.tweets if self.tweets else 0.0
+
+    @property
+    def mean_retweets(self) -> float:
+        return float(np.mean(self.retweets)) if self.retweets else 0.0
+
+    @property
+    def std_retweets(self) -> float:
+        return float(np.std(self.retweets)) if self.retweets else 0.0
+
+    @property
+    def mean_likes(self) -> float:
+        return float(np.mean(self.likes)) if self.likes else 0.0
+
+    @property
+    def std_likes(self) -> float:
+        return float(np.std(self.likes)) if self.likes else 0.0
+
+
+@dataclass
+class RecrawlStats:
+    """Per-category re-crawl statistics (the rows of Table 3)."""
+
+    alternative: CategoryRecrawl
+    mainstream: CategoryRecrawl
+
+    def of(self, category: NewsCategory) -> CategoryRecrawl:
+        return (self.alternative if category == NewsCategory.ALTERNATIVE
+                else self.mainstream)
+
+
+class TweetRecrawler:
+    """Re-fetches every tweet in a dataset from the platform."""
+
+    def recrawl(self, dataset: Dataset,
+                platform: TwitterPlatform) -> RecrawlStats:
+        stats = RecrawlStats(alternative=CategoryRecrawl(),
+                             mainstream=CategoryRecrawl())
+        for record in dataset:
+            if record.platform != "twitter":
+                continue
+            tweet = platform.fetch_tweet(record.post_id)
+            categories = {occurrence.category for occurrence in record.urls}
+            for category in categories:
+                bucket = stats.of(category)
+                bucket.tweets += 1
+                if tweet is None:
+                    continue
+                bucket.retrieved += 1
+                original = tweet
+                if tweet.retweet_of is not None:
+                    fetched = platform.fetch_tweet(tweet.retweet_of)
+                    if fetched is not None:
+                        original = fetched
+                bucket.retweets.append(original.retweet_count)
+                bucket.likes.append(original.like_count)
+        return stats

@@ -1,0 +1,178 @@
+"""The dataset store: crawled records keyed the way the analyses need.
+
+A :class:`DatasetRecord` is one crawled post/comment/tweet that contains
+at least one news URL; a :class:`Dataset` is an ordered collection with
+JSONL persistence and the groupings (per community, per URL, per user)
+every analysis module consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from ..news.domains import NewsCategory
+
+
+@dataclass(frozen=True)
+class UrlOccurrence:
+    """One news URL found in one post."""
+
+    url: str
+    domain: str
+    category: NewsCategory
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """One crawled post containing news URLs.
+
+    ``community`` is the fine-grained venue: a subreddit name, a 4chan
+    board like ``"/pol/"``, or ``"Twitter"``.  ``platform`` is the
+    coarse service name (``twitter`` / ``reddit`` / ``4chan``).
+    """
+
+    post_id: str
+    platform: str
+    community: str
+    author_id: str | None
+    created_at: float
+    urls: tuple[UrlOccurrence, ...]
+
+    def urls_of(self, category: NewsCategory) -> tuple[UrlOccurrence, ...]:
+        return tuple(u for u in self.urls if u.category == category)
+
+    def to_json(self) -> str:
+        payload = {
+            "post_id": self.post_id,
+            "platform": self.platform,
+            "community": self.community,
+            "author_id": self.author_id,
+            "created_at": self.created_at,
+            "urls": [
+                {"url": u.url, "domain": u.domain,
+                 "category": u.category.value}
+                for u in self.urls
+            ],
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "DatasetRecord":
+        payload = json.loads(line)
+        return cls(
+            post_id=payload["post_id"],
+            platform=payload["platform"],
+            community=payload["community"],
+            author_id=payload["author_id"],
+            created_at=payload["created_at"],
+            urls=tuple(
+                UrlOccurrence(url=u["url"], domain=u["domain"],
+                              category=NewsCategory(u["category"]))
+                for u in payload["urls"]
+            ),
+        )
+
+
+class Dataset:
+    """An append-only collection of crawled records with index helpers."""
+
+    def __init__(self, records: Iterable[DatasetRecord] = ()) -> None:
+        self.records: list[DatasetRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[DatasetRecord]:
+        return iter(self.records)
+
+    def add(self, record: DatasetRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[DatasetRecord]) -> None:
+        self.records.extend(records)
+
+    def merged_with(self, other: "Dataset") -> "Dataset":
+        return Dataset([*self.records, *other.records])
+
+    # -- groupings ----------------------------------------------------------
+
+    def filter(self, predicate: Callable[[DatasetRecord], bool]) -> "Dataset":
+        return Dataset(r for r in self.records if predicate(r))
+
+    def by_community(self) -> dict[str, list[DatasetRecord]]:
+        grouped: dict[str, list[DatasetRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.community, []).append(record)
+        return grouped
+
+    def by_platform(self) -> dict[str, list[DatasetRecord]]:
+        grouped: dict[str, list[DatasetRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.platform, []).append(record)
+        return grouped
+
+    def url_timestamps(self, category: NewsCategory | None = None,
+                       ) -> dict[str, list[tuple[float, str]]]:
+        """url -> sorted [(timestamp, community)] across all records."""
+        occurrences: dict[str, list[tuple[float, str]]] = {}
+        for record in self.records:
+            for occurrence in record.urls:
+                if category is not None and occurrence.category != category:
+                    continue
+                occurrences.setdefault(occurrence.url, []).append(
+                    (record.created_at, record.community))
+        for url in occurrences:
+            occurrences[url].sort()
+        return occurrences
+
+    def url_categories(self) -> dict[str, NewsCategory]:
+        categories: dict[str, NewsCategory] = {}
+        for record in self.records:
+            for occurrence in record.urls:
+                categories.setdefault(occurrence.url, occurrence.category)
+        return categories
+
+    def by_author(self) -> dict[str, list[DatasetRecord]]:
+        grouped: dict[str, list[DatasetRecord]] = {}
+        for record in self.records:
+            if record.author_id is None:
+                continue
+            grouped.setdefault(record.author_id, []).append(record)
+        return grouped
+
+    def unique_urls(self, category: NewsCategory | None = None) -> set[str]:
+        urls: set[str] = set()
+        for record in self.records:
+            for occurrence in record.urls:
+                if category is None or occurrence.category == category:
+                    urls.add(occurrence.url)
+        return urls
+
+    def url_post_count(self, category: NewsCategory | None = None) -> int:
+        """Number of posts containing at least one URL of ``category``."""
+        if category is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.urls_of(category))
+
+    # -- persistence ----------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(record.to_json())
+                handle.write("\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "Dataset":
+        dataset = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    dataset.add(DatasetRecord.from_json(line))
+        return dataset

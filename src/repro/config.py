@@ -1,0 +1,101 @@
+"""Study configuration: the paper's window, gaps, and community registry.
+
+The constants here mirror Section 2.2 of the paper: the data covers
+June 30 2016 through February 28 2017, with crawler-failure gaps on
+Twitter and 4chan.  The eight Hawkes processes of Section 5 are Twitter,
+4chan's /pol/, and the six selected subreddits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timeutil import Interval, utc
+
+# ---------------------------------------------------------------------------
+# Study window (Section 2.2)
+# ---------------------------------------------------------------------------
+
+STUDY_START = utc(2016, 6, 30)
+STUDY_END = utc(2017, 2, 28, 23, 59, 59) + 1
+STUDY_WINDOW = Interval(STUDY_START, STUDY_END)
+
+#: Twitter collection-infrastructure failures (Section 2.2).
+TWITTER_GAPS: tuple[Interval, ...] = (
+    Interval(utc(2016, 10, 28), utc(2016, 11, 3)),   # Oct 28 - Nov 2
+    Interval(utc(2016, 11, 5), utc(2016, 11, 17)),   # Nov 5 - Nov 16
+    Interval(utc(2016, 11, 22), utc(2017, 1, 14)),   # Nov 22 - Jan 13
+    Interval(utc(2017, 2, 24), STUDY_END),           # Feb 24 - Feb 28
+)
+
+#: 4chan crawler failures (Section 2.2).
+FOURCHAN_GAPS: tuple[Interval, ...] = (
+    Interval(utc(2016, 10, 15), utc(2016, 10, 17)),  # Oct 15 - 16
+    Interval(utc(2016, 12, 16), utc(2016, 12, 26)),  # Dec 16 - 25
+    Interval(utc(2017, 1, 10), utc(2017, 1, 14)),    # Jan 10 - 13
+)
+
+# ---------------------------------------------------------------------------
+# Communities (the Hawkes processes of Section 5, plus baselines)
+# ---------------------------------------------------------------------------
+
+#: The six selected subreddits (Section 3).
+SELECTED_SUBREDDITS: tuple[str, ...] = (
+    "The_Donald",
+    "worldnews",
+    "politics",
+    "news",
+    "conspiracy",
+    "AskReddit",
+)
+
+#: 4chan boards studied; /pol/ is primary, the rest are baselines.
+FOURCHAN_BOARDS: tuple[str, ...] = ("pol", "sp", "int", "sci")
+FOURCHAN_BASELINE_BOARDS: tuple[str, ...] = ("sp", "int", "sci")
+
+#: Canonical ordering of the 8 Hawkes processes, matching Fig. 10/11 axes.
+HAWKES_PROCESSES: tuple[str, ...] = SELECTED_SUBREDDITS + ("/pol/", "Twitter")
+
+#: Display names for the coarse platform split used in Tables 8-10.
+PLATFORM_TWITTER = "Twitter"
+PLATFORM_REDDIT = "Reddit"       # six selected subreddits
+PLATFORM_POL = "/pol/"
+SEQUENCE_PLATFORMS: tuple[str, ...] = (PLATFORM_POL, PLATFORM_REDDIT,
+                                       PLATFORM_TWITTER)
+#: Single-letter codes used by the paper's sequence tables.
+PLATFORM_CODES = {PLATFORM_POL: "4", PLATFORM_REDDIT: "R",
+                  PLATFORM_TWITTER: "T"}
+
+
+@dataclass(frozen=True)
+class HawkesConfig:
+    """Parameters of the Section 5 influence-estimation experiment."""
+
+    #: Time-bin width, seconds (paper: 1 minute).
+    delta_t: int = 60
+    #: Maximum lag an event can excite, in bins (paper: 720 min = 12 h).
+    max_lag_bins: int = 720
+    #: Gibbs sweeps and burn-in used when fitting each URL.
+    gibbs_iterations: int = 120
+    gibbs_burn_in: int = 40
+    #: Fraction of gap-overlapping URLs removed, shortest-duration first
+    #: (paper: 10%).
+    gap_trim_fraction: float = 0.10
+    #: Gamma prior hyper-parameters on background rates and weights.
+    background_shape: float = 1.0
+    background_rate: float = 100.0
+    weight_shape: float = 1.0
+    weight_rate: float = 18.0
+    #: Dirichlet concentration of the lag PMF prior.
+    impulse_concentration: float = 1.0
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Bundle of all knobs a pipeline run needs."""
+
+    window: Interval = STUDY_WINDOW
+    twitter_gaps: tuple[Interval, ...] = TWITTER_GAPS
+    fourchan_gaps: tuple[Interval, ...] = FOURCHAN_GAPS
+    hawkes: HawkesConfig = field(default_factory=HawkesConfig)
+    selected_subreddits: tuple[str, ...] = SELECTED_SUBREDDITS

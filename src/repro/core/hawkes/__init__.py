@@ -1,0 +1,34 @@
+"""Discrete-time multivariate Hawkes processes (Section 5.1).
+
+The model follows Linderman & Adams [20, 21] as used by the paper: ``K``
+point processes with background rates ``lambda_0``, an interaction
+weight matrix ``W`` (``W[i, j]`` is the expected number of child events
+on process ``j`` caused by one event on process ``i``), and per-pair lag
+probability mass functions ``G`` over lags ``1..D`` bins.
+
+Submodules
+----------
+``model``       parameters, rate computation, log-likelihood
+``basis``       lag-PMF parameterizations (full Dirichlet, log-binned)
+``simulation``  exact branching sampler and a stepwise cross-check sampler
+``inference``   Gibbs sampler with conjugate updates, plus an EM fitter
+"""
+
+from .basis import DirichletLagBasis, LagBasis, LogBinnedLagBasis
+from .model import HawkesParams, discrete_log_likelihood, expected_rate
+from .simulation import simulate_branching, simulate_stepwise
+from .inference import FitResult, fit_em, fit_gibbs
+
+__all__ = [
+    "DirichletLagBasis",
+    "LagBasis",
+    "LogBinnedLagBasis",
+    "HawkesParams",
+    "discrete_log_likelihood",
+    "expected_rate",
+    "simulate_branching",
+    "simulate_stepwise",
+    "FitResult",
+    "fit_em",
+    "fit_gibbs",
+]

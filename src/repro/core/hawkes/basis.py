@@ -1,0 +1,103 @@
+"""Lag-PMF parameterizations for the impulse response.
+
+The paper decomposes each impulse response into a scalar weight
+``W[k -> k']`` and a PMF ``G[k -> k'][d]`` over lags ``d = 1..D`` bins
+(Section 5.1).  Two parameterizations are provided:
+
+* :class:`DirichletLagBasis` — one free PMF value per lag bin with a
+  symmetric Dirichlet prior.  Faithful but high-dimensional for
+  ``D = 720``.
+* :class:`LogBinnedLagBasis` — lags are grouped into logarithmically
+  spaced buckets; the PMF is uniform within a bucket.  This acts like the
+  smooth logistic-normal impulse of Linderman & Adams while keeping
+  conjugacy, and is the default used by the corpus pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LagBasis:
+    """Maps between lag bins ``1..max_lag`` and coarse basis buckets."""
+
+    max_lag: int
+    #: ``bucket_of[d-1]`` is the bucket index of lag ``d``.
+    bucket_of: np.ndarray
+    #: Number of lags inside each bucket.
+    bucket_sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.bucket_of) != self.max_lag:
+            raise ValueError("bucket_of must have max_lag entries")
+        if self.bucket_sizes.sum() != self.max_lag:
+            raise ValueError("bucket sizes must sum to max_lag")
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.bucket_sizes)
+
+    def expand(self, bucket_pmf: np.ndarray) -> np.ndarray:
+        """Expand bucket probabilities to a full per-lag PMF.
+
+        Probability mass assigned to a bucket is spread uniformly over
+        the lags it covers, so the result sums to 1 over lags ``1..D``.
+        """
+        bucket_pmf = np.asarray(bucket_pmf, dtype=np.float64)
+        if bucket_pmf.shape[-1] != self.n_buckets:
+            raise ValueError("bucket_pmf has wrong number of buckets")
+        per_lag = bucket_pmf[..., self.bucket_of] / self.bucket_sizes[self.bucket_of]
+        return per_lag
+
+    def contract(self, lag_pmf: np.ndarray) -> np.ndarray:
+        """Sum a full per-lag PMF down to bucket probabilities."""
+        lag_pmf = np.asarray(lag_pmf, dtype=np.float64)
+        if lag_pmf.shape[-1] != self.max_lag:
+            raise ValueError("lag_pmf has wrong number of lags")
+        out = np.zeros(lag_pmf.shape[:-1] + (self.n_buckets,))
+        np.add.at(out.reshape(-1, self.n_buckets),
+                  (slice(None), self.bucket_of),
+                  lag_pmf.reshape(-1, self.max_lag))
+        return out
+
+
+def DirichletLagBasis(max_lag: int) -> LagBasis:
+    """Full-resolution basis: every lag is its own bucket."""
+    return LagBasis(
+        max_lag=max_lag,
+        bucket_of=np.arange(max_lag, dtype=np.int64),
+        bucket_sizes=np.ones(max_lag, dtype=np.int64),
+    )
+
+
+def LogBinnedLagBasis(max_lag: int, n_buckets: int = 12) -> LagBasis:
+    """Logarithmically spaced buckets over lags ``1..max_lag``.
+
+    The first buckets cover single small lags (1, 2, 3 min...) and later
+    buckets grow geometrically, mirroring how influence between posts
+    decays: fine resolution for re-shares within minutes, coarse for the
+    multi-hour tail.
+    """
+    if n_buckets < 1:
+        raise ValueError("need at least one bucket")
+    if n_buckets >= max_lag:
+        return DirichletLagBasis(max_lag)
+    # Geometric edges from 1 to max_lag+1, deduplicated and forced to
+    # include both endpoints.
+    raw = np.geomspace(1, max_lag + 1, n_buckets + 1)
+    edges = np.unique(np.round(raw).astype(np.int64))
+    edges[0], edges[-1] = 1, max_lag + 1
+    edges = np.unique(edges)
+    bucket_of = np.empty(max_lag, dtype=np.int64)
+    sizes = []
+    for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        bucket_of[lo - 1:hi - 1] = i
+        sizes.append(hi - lo)
+    return LagBasis(
+        max_lag=max_lag,
+        bucket_of=bucket_of,
+        bucket_sizes=np.array(sizes, dtype=np.int64),
+    )

@@ -1,0 +1,232 @@
+"""Continuous-time multivariate Hawkes with exponential kernels.
+
+A baseline comparator for the paper's discrete-time model: the classic
+parameterization
+
+    lambda_k(t) = mu_k + sum_j sum_{t_i^j < t} W[j, k] * beta *
+                  exp(-beta * (t - t_i^j))
+
+where ``W[j, k]`` is again the expected number of children on ``k`` per
+event on ``j`` (the kernel integrates to ``W``), and ``beta`` is a
+shared decay rate.  Fitting is EM over latent parent attributions; the
+discrete and continuous estimators should agree on ``W`` when the bin
+width is small relative to ``1/beta`` (checked by the estimator
+ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ContinuousHawkesParams:
+    """Parameters ``(mu, W, beta)`` of the exponential-kernel model."""
+
+    background: np.ndarray   # (K,) events per unit time
+    weights: np.ndarray      # (K, K) branching matrix
+    decay: float             # beta, 1/units of time
+
+    def __post_init__(self) -> None:
+        k = self.background.shape[0]
+        if self.weights.shape != (k, k):
+            raise ValueError(f"weights must be ({k}, {k})")
+        if np.any(self.background < 0) or np.any(self.weights < 0):
+            raise ValueError("rates and weights must be non-negative")
+        if self.decay <= 0:
+            raise ValueError("decay must be positive")
+
+    @property
+    def n_processes(self) -> int:
+        return self.background.shape[0]
+
+    def spectral_radius(self) -> float:
+        return float(np.max(np.abs(np.linalg.eigvals(self.weights))))
+
+
+@dataclass(frozen=True)
+class EventList:
+    """Continuous-time events: sorted times with process labels."""
+
+    times: np.ndarray       # (N,) float, sorted ascending
+    processes: np.ndarray   # (N,) int
+    horizon: float          # observation window [0, horizon)
+    n_processes: int
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.processes):
+            raise ValueError("times and processes must align")
+        if len(self.times) and np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be sorted")
+        if len(self.times):
+            if self.times.min() < 0 or self.times.max() >= self.horizon:
+                raise ValueError("event outside [0, horizon)")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def counts_per_process(self) -> np.ndarray:
+        counts = np.zeros(self.n_processes, dtype=np.int64)
+        np.add.at(counts, self.processes, 1)
+        return counts
+
+    @classmethod
+    def from_pairs(cls, pairs, horizon: float,
+                   n_processes: int) -> "EventList":
+        ordered = sorted(pairs)
+        times = np.array([t for t, _ in ordered], dtype=np.float64)
+        procs = np.array([k for _, k in ordered], dtype=np.int64)
+        return cls(times=times, processes=procs, horizon=float(horizon),
+                   n_processes=n_processes)
+
+
+def simulate_continuous(params: ContinuousHawkesParams, horizon: float,
+                        rng: np.random.Generator | None = None,
+                        max_events: int = 2_000_000) -> EventList:
+    """Exact cluster-representation sampler over ``[0, horizon)``."""
+    rng = rng or np.random.default_rng()
+    k_procs = params.n_processes
+    pending: list[tuple[float, int]] = []
+    for k in range(k_procs):
+        count = rng.poisson(params.background[k] * horizon)
+        pending.extend((float(t), k)
+                       for t in rng.uniform(0, horizon, size=count))
+    accepted: list[tuple[float, int]] = []
+    while pending:
+        t, k = pending.pop()
+        accepted.append((t, k))
+        if len(accepted) > max_events:
+            raise RuntimeError("event budget exceeded; check stability")
+        for dst in range(k_procs):
+            n_children = rng.poisson(params.weights[k, dst])
+            for _ in range(n_children):
+                child_t = t + rng.exponential(1.0 / params.decay)
+                if child_t < horizon:
+                    pending.append((float(child_t), dst))
+    return EventList.from_pairs(accepted, horizon, k_procs)
+
+
+def continuous_log_likelihood(params: ContinuousHawkesParams,
+                              events: EventList) -> float:
+    """Exact log-likelihood via the exponential-kernel recursion."""
+    mu = params.background
+    weights = params.weights
+    beta = params.decay
+    k_procs = params.n_processes
+    # R[j, k]: summed kernel contribution of past j-events to process k,
+    # maintained with exponential decay as we sweep events in order.
+    decay_state = np.zeros((k_procs,))  # per source process j
+    last_time = 0.0
+    log_term = 0.0
+    for t, proc in zip(events.times, events.processes):
+        decay_state *= np.exp(-beta * (t - last_time))
+        rate = mu[int(proc)] + float(
+            weights[:, int(proc)] @ (beta * decay_state))
+        if rate <= 0:
+            return -np.inf
+        log_term += np.log(rate)
+        decay_state[int(proc)] += 1.0
+        last_time = t
+    # Compensator: mu*T plus each event's truncated kernel mass.
+    compensator = float(mu.sum()) * events.horizon
+    remaining = events.horizon - events.times
+    kernel_mass = 1.0 - np.exp(-beta * remaining)
+    for j in range(k_procs):
+        mass_j = float(kernel_mass[events.processes == j].sum())
+        compensator += float(weights[j, :].sum()) * mass_j
+    return log_term - compensator
+
+
+@dataclass(frozen=True)
+class ContinuousFitResult:
+    params: ContinuousHawkesParams
+    log_likelihood: float
+    n_iterations: int
+
+
+def fit_continuous_em(events: EventList, decay: float | None = None,
+                      max_iterations: int = 100, tol: float = 1e-6,
+                      background_floor: float = 1e-10,
+                      estimate_decay: bool = False,
+                      ) -> ContinuousFitResult:
+    """EM fit of ``(mu, W)`` (optionally ``beta``) by parent attribution.
+
+    Each event is softly attributed to the background or to each earlier
+    event within a numerically relevant window; conjugate-style M-steps
+    update ``mu`` (background responsibility over time), ``W``
+    (children per source event), and optionally ``beta`` (inverse mean
+    attributed lag).
+    """
+    k_procs = events.n_processes
+    n = len(events)
+    beta = decay if decay is not None else 1.0 / 600.0
+    mu = np.maximum(events.counts_per_process()
+                    / max(events.horizon, 1e-9) * 0.5, background_floor)
+    weights = np.full((k_procs, k_procs), 0.05)
+    counts = events.counts_per_process().astype(np.float64)
+
+    previous_ll = -np.inf
+    iterations = 0
+    for iteration in range(max_iterations):
+        iterations = iteration + 1
+        z_background = np.zeros(k_procs)
+        z_weight = np.zeros((k_procs, k_procs))
+        lag_sum = 0.0
+        lag_weight = 0.0
+        window = 20.0 / beta  # beyond this the kernel is negligible
+        start = 0
+        for i in range(n):
+            t_i = events.times[i]
+            dst = int(events.processes[i])
+            while start < i and events.times[start] < t_i - window:
+                start += 1
+            lags = t_i - events.times[start:i]
+            sources = events.processes[start:i]
+            kernel = (weights[sources, dst] * beta
+                      * np.exp(-beta * lags))
+            total = mu[dst] + kernel.sum()
+            if total <= 0:
+                z_background[dst] += 1.0
+                continue
+            z_background[dst] += mu[dst] / total
+            if len(kernel):
+                resp = kernel / total
+                np.add.at(z_weight, (sources, np.full(len(resp), dst)),
+                          resp)
+                lag_sum += float((resp * lags).sum())
+                lag_weight += float(resp.sum())
+        mu = np.maximum(z_background / max(events.horizon, 1e-9),
+                        background_floor)
+        exposure = np.maximum(counts, 1e-9)
+        weights = z_weight / exposure[:, None]
+        if estimate_decay and lag_sum > 0:
+            beta = lag_weight / lag_sum
+        params = ContinuousHawkesParams(background=mu, weights=weights,
+                                        decay=beta)
+        current_ll = continuous_log_likelihood(params, events)
+        if abs(current_ll - previous_ll) < tol * (1 + abs(previous_ll)):
+            previous_ll = current_ll
+            break
+        previous_ll = current_ll
+
+    params = ContinuousHawkesParams(background=mu, weights=weights,
+                                    decay=beta)
+    return ContinuousFitResult(params=params, log_likelihood=previous_ll,
+                               n_iterations=iterations)
+
+
+def discrete_events_to_continuous(events, delta_t: float = 60.0,
+                                  rng: np.random.Generator | None = None,
+                                  ) -> EventList:
+    """Convert binned events to continuous times (uniform within bins)."""
+    rng = rng or np.random.default_rng()
+    pairs = []
+    for m in range(len(events)):
+        base = float(events.bins[m]) * delta_t
+        for _ in range(int(events.counts[m])):
+            pairs.append((base + rng.uniform(0, delta_t),
+                          int(events.processes[m])))
+    return EventList.from_pairs(pairs, horizon=events.n_bins * delta_t,
+                                n_processes=events.n_processes)

@@ -1,0 +1,311 @@
+"""Corpus-level influence estimation (Section 5.2-5.3).
+
+Pipeline: select URLs with activity on Twitter, /pol/, and at least one
+of the six subreddits; drop the shortest gap-overlapping URLs; fit a
+K=8 Hawkes model per URL; aggregate the weight matrices into the
+quantities reported in Table 11 and Figures 10-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Literal, Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..config import (
+    HAWKES_PROCESSES,
+    HawkesConfig,
+    SELECTED_SUBREDDITS,
+)
+from ..news.domains import NewsCategory
+from ..timeutil import Interval, in_any_interval
+from .events import DiscreteEvents, bin_timestamps
+from .hawkes.basis import LagBasis, LogBinnedLagBasis
+from .hawkes.inference import FitResult, Priors, fit_em, fit_gibbs
+
+FitMethod = Literal["gibbs", "em"]
+
+
+@dataclass(frozen=True)
+class UrlCascade:
+    """All observed posts of one URL across the modeled communities.
+
+    ``events`` is a sequence of ``(timestamp, process_name)`` pairs; the
+    process names must come from :data:`~repro.config.HAWKES_PROCESSES`.
+    """
+
+    url: str
+    category: NewsCategory
+    events: tuple[tuple[float, str], ...]
+
+    @property
+    def first_time(self) -> float:
+        return min(t for t, _ in self.events)
+
+    @property
+    def last_time(self) -> float:
+        return max(t for t, _ in self.events)
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time
+
+    def processes_present(self) -> frozenset[str]:
+        return frozenset(name for _, name in self.events)
+
+    def overlaps_gaps(self, gaps: Sequence[Interval]) -> bool:
+        """True if any event of this cascade falls on a gap day."""
+        return any(in_any_interval(t, gaps) for t, _ in self.events)
+
+
+@dataclass(frozen=True)
+class UrlFit:
+    """Per-URL fit output kept for aggregation."""
+
+    url: str
+    category: NewsCategory
+    background: np.ndarray        # (K,) events per bin
+    weights: np.ndarray           # (K, K)
+    event_counts: np.ndarray      # (K,) observed events per process
+    n_bins: int
+    log_likelihood: float
+
+
+@dataclass
+class InfluenceResult:
+    """Everything Section 5 reports, in one bundle."""
+
+    processes: tuple[str, ...]
+    fits: list[UrlFit]
+
+    def of_category(self, category: NewsCategory) -> list[UrlFit]:
+        return [f for f in self.fits if f.category == category]
+
+    def weight_stack(self, category: NewsCategory) -> np.ndarray:
+        """(n_urls, K, K) stack of weight matrices for one category."""
+        fits = self.of_category(category)
+        if not fits:
+            k = len(self.processes)
+            return np.empty((0, k, k))
+        return np.stack([f.weights for f in fits])
+
+
+# ---------------------------------------------------------------------------
+# URL selection and gap handling
+# ---------------------------------------------------------------------------
+
+def select_urls(cascades: Iterable[UrlCascade],
+                processes: Sequence[str] = HAWKES_PROCESSES,
+                subreddits: Sequence[str] = SELECTED_SUBREDDITS,
+                ) -> list[UrlCascade]:
+    """Keep URLs with >= 1 event on Twitter, /pol/, and any subreddit.
+
+    This is the Section 5.2 selection rule.  Events on processes outside
+    ``processes`` are dropped from the retained cascades.
+    """
+    allowed = set(processes)
+    subreddit_set = set(subreddits)
+    kept: list[UrlCascade] = []
+    for cascade in cascades:
+        events = tuple((t, name) for t, name in cascade.events
+                       if name in allowed)
+        present = {name for _, name in events}
+        if ("Twitter" in present and "/pol/" in present
+                and present & subreddit_set):
+            kept.append(UrlCascade(cascade.url, cascade.category, events))
+    return kept
+
+
+def trim_gap_urls(cascades: Sequence[UrlCascade], gaps: Sequence[Interval],
+                  fraction: float = 0.10) -> list[UrlCascade]:
+    """Drop the ``fraction`` shortest-duration URLs among gap-overlapping ones.
+
+    Section 5.2: missing Twitter days matter more for short-lived URLs, so
+    the paper removes the 10% of gap-overlapping URLs with the shortest
+    total duration.
+    """
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be within [0, 1]")
+    overlapping = [c for c in cascades if c.overlaps_gaps(gaps)]
+    n_drop = int(round(len(overlapping) * fraction))
+    if not n_drop:
+        return list(cascades)
+    by_duration = sorted(overlapping, key=lambda c: c.duration)
+    dropped = {id(c) for c in by_duration[:n_drop]}
+    return [c for c in cascades if id(c) not in dropped]
+
+
+# ---------------------------------------------------------------------------
+# Fitting
+# ---------------------------------------------------------------------------
+
+def cascade_to_events(cascade: UrlCascade,
+                      processes: Sequence[str] = HAWKES_PROCESSES,
+                      delta_t: float = 60.0) -> DiscreteEvents:
+    """Bin a cascade into the per-URL count matrix of Section 5.2."""
+    index = {name: i for i, name in enumerate(processes)}
+    timestamps = [t for t, _ in cascade.events]
+    procs = [index[name] for _, name in cascade.events]
+    return bin_timestamps(timestamps, procs, n_processes=len(processes),
+                          delta_t=delta_t)
+
+
+def fit_corpus(cascades: Sequence[UrlCascade],
+               config: HawkesConfig | None = None,
+               method: FitMethod = "gibbs",
+               processes: Sequence[str] = HAWKES_PROCESSES,
+               basis: LagBasis | None = None,
+               rng: np.random.Generator | None = None,
+               progress: Callable[[int, int], None] | None = None,
+               ) -> InfluenceResult:
+    """Fit one Hawkes model per URL and collect the results."""
+    config = config or HawkesConfig()
+    rng = rng or np.random.default_rng()
+    basis = basis or LogBinnedLagBasis(config.max_lag_bins)
+    priors = Priors(
+        background_shape=config.background_shape,
+        background_rate=config.background_rate,
+        weight_shape=config.weight_shape,
+        weight_rate=config.weight_rate,
+        impulse_concentration=config.impulse_concentration,
+    )
+    fits: list[UrlFit] = []
+    for i, cascade in enumerate(cascades):
+        events = cascade_to_events(cascade, processes, config.delta_t)
+        if method == "gibbs":
+            result: FitResult = fit_gibbs(
+                events, config.max_lag_bins, basis=basis, priors=priors,
+                n_iterations=config.gibbs_iterations,
+                burn_in=config.gibbs_burn_in, rng=rng, keep_samples=False)
+        elif method == "em":
+            result = fit_em(events, config.max_lag_bins, basis=basis,
+                            priors=priors)
+        else:
+            raise ValueError(f"unknown fit method {method!r}")
+        fits.append(UrlFit(
+            url=cascade.url,
+            category=cascade.category,
+            background=result.params.background,
+            weights=result.params.weights,
+            event_counts=events.events_per_process(),
+            n_bins=events.n_bins,
+            log_likelihood=result.log_likelihood,
+        ))
+        if progress is not None:
+            progress(i + 1, len(cascades))
+    return InfluenceResult(processes=tuple(processes), fits=fits)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation (Table 11, Figures 10 and 11)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WeightAggregate:
+    """Figure 10: mean weights per category plus per-cell significance."""
+
+    processes: tuple[str, ...]
+    mean_alternative: np.ndarray   # (K, K)
+    mean_mainstream: np.ndarray    # (K, K)
+    percent_change: np.ndarray     # (K, K) alt over main, percent
+    ks_pvalues: np.ndarray         # (K, K)
+
+    def significance_stars(self) -> np.ndarray:
+        """'**' for p < 0.01, '*' for p < 0.05, '' otherwise."""
+        stars = np.full(self.ks_pvalues.shape, "", dtype=object)
+        stars[self.ks_pvalues < 0.05] = "*"
+        stars[self.ks_pvalues < 0.01] = "**"
+        return stars
+
+
+def aggregate_weights(result: InfluenceResult) -> WeightAggregate:
+    """Mean W per category, percent difference, and KS significance."""
+    alt = result.weight_stack(NewsCategory.ALTERNATIVE)
+    main = result.weight_stack(NewsCategory.MAINSTREAM)
+    if not len(alt) or not len(main):
+        raise ValueError("need fits for both categories to aggregate")
+    mean_alt = alt.mean(axis=0)
+    mean_main = main.mean(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pct = 100.0 * (mean_alt - mean_main) / mean_main
+    k = len(result.processes)
+    pvalues = np.ones((k, k))
+    for i in range(k):
+        for j in range(k):
+            stat = _scipy_stats.ks_2samp(alt[:, i, j], main[:, i, j])
+            pvalues[i, j] = stat.pvalue
+    return WeightAggregate(
+        processes=result.processes,
+        mean_alternative=mean_alt,
+        mean_mainstream=mean_main,
+        percent_change=pct,
+        ks_pvalues=pvalues,
+    )
+
+
+def influence_percentages(result: InfluenceResult,
+                          category: NewsCategory) -> np.ndarray:
+    """Figure 11 estimator.
+
+    ``Pct[A, B] = sum_u W_u[A, B] * N_u[A] / sum_u N_u[B]``, the expected
+    share of events on destination ``B`` caused by source ``A``.
+    Returned as percentages.
+    """
+    fits = result.of_category(category)
+    k = len(result.processes)
+    caused = np.zeros((k, k))
+    destination_events = np.zeros(k)
+    for fit in fits:
+        caused += fit.weights * fit.event_counts[:, None]
+        destination_events += fit.event_counts
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pct = 100.0 * caused / destination_events[None, :]
+    pct[:, destination_events == 0] = 0.0
+    return pct
+
+
+@dataclass(frozen=True)
+class CorpusSummary:
+    """Table 11: URLs, events, and mean background rates per process."""
+
+    processes: tuple[str, ...]
+    urls: dict[NewsCategory, np.ndarray]         # (K,) URLs with >=1 event
+    events: dict[NewsCategory, np.ndarray]       # (K,) total events
+    mean_background: dict[NewsCategory, np.ndarray]  # (K,) mean lambda0
+
+    def totals(self, field_name: str) -> np.ndarray:
+        data = getattr(self, field_name)
+        return sum(data.values())
+
+
+def corpus_background_rates(result: InfluenceResult) -> CorpusSummary:
+    """Compute Table 11 from the per-URL fits."""
+    k = len(result.processes)
+    urls: dict[NewsCategory, np.ndarray] = {}
+    events: dict[NewsCategory, np.ndarray] = {}
+    backgrounds: dict[NewsCategory, np.ndarray] = {}
+    for category in NewsCategory:
+        fits = result.of_category(category)
+        url_counts = np.zeros(k, dtype=np.int64)
+        event_counts = np.zeros(k, dtype=np.int64)
+        bg_sum = np.zeros(k)
+        bg_n = np.zeros(k, dtype=np.int64)
+        for fit in fits:
+            present = fit.event_counts > 0
+            url_counts += present.astype(np.int64)
+            event_counts += fit.event_counts
+            bg_sum += fit.background
+            bg_n += 1
+        urls[category] = url_counts
+        events[category] = event_counts
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean_bg = np.where(bg_n > 0, bg_sum / np.maximum(bg_n, 1), 0.0)
+        backgrounds[category] = mean_bg
+    return CorpusSummary(
+        processes=result.processes,
+        urls=urls,
+        events=events,
+        mean_background=backgrounds,
+    )

@@ -1,0 +1,38 @@
+"""News-source substrate: the 99-site registry, articles, and classification.
+
+The paper (Section 2.1) studies 45 mainstream news sites drawn from the
+Alexa top-100 and 54 alternative sites drawn from Wikipedia's list of
+fake-news websites and FakeNewsWatch, plus two state-sponsored outlets
+(rt.com, sputniknews.com).  This package reconstructs that registry from
+the domains named in the paper's Tables 5-7 and Figure 8, provides a
+synthetic article/URL generator for the simulator, and implements the
+URL -> domain -> category classification step used by every analysis.
+"""
+
+from .domains import (
+    ALTERNATIVE_DOMAINS,
+    MAINSTREAM_DOMAINS,
+    NewsCategory,
+    NewsDomain,
+    NewsRegistry,
+    default_registry,
+)
+from .articles import Article, ArticleGenerator
+from .classify import classify_url, extract_news_urls
+from .urls import canonicalize_url, extract_urls, registered_domain
+
+__all__ = [
+    "ALTERNATIVE_DOMAINS",
+    "MAINSTREAM_DOMAINS",
+    "NewsCategory",
+    "NewsDomain",
+    "NewsRegistry",
+    "default_registry",
+    "Article",
+    "ArticleGenerator",
+    "classify_url",
+    "extract_news_urls",
+    "canonicalize_url",
+    "extract_urls",
+    "registered_domain",
+]

@@ -1,0 +1,95 @@
+"""URL extraction and canonicalization.
+
+The measurement pipeline keys everything on URLs, so two posts sharing
+"the same" article must canonicalize to one string.  We reproduce the
+usual normalization steps a crawler pipeline performs: scheme and host
+lowercasing, ``www.``/mobile-subdomain stripping, tracker-parameter
+removal, fragment removal, and trailing-slash normalization.
+"""
+
+from __future__ import annotations
+
+import re
+from urllib.parse import parse_qsl, urlencode, urlsplit, urlunsplit
+
+#: Matches http(s) URLs embedded in free text (post bodies, tweets).
+_URL_RE = re.compile(
+    r"""https?://              # scheme
+        [\w.-]+                # host
+        (?:\:\d+)?             # optional port
+        (?:/[^\s<>"'\)\]]*)?   # optional path/query/fragment
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+#: Query parameters dropped during canonicalization (analytics trackers).
+_TRACKER_PARAMS = frozenset({
+    "utm_source", "utm_medium", "utm_campaign", "utm_term", "utm_content",
+    "fbclid", "gclid", "ref", "ref_src", "smid", "smtyp", "ncid", "cmpid",
+    "feedtype", "mc_cid", "mc_eid", "s",
+})
+
+#: Subdomains that serve the same content as the apex domain.
+_ALIAS_SUBDOMAINS = ("www.", "m.", "mobile.", "amp.", "edition.")
+
+#: Characters commonly glued onto URLs by surrounding prose.
+_TRAILING_PUNCT = ".,;:!?'\""
+
+
+def extract_urls(text: str) -> list[str]:
+    """Return all http(s) URLs found in ``text``, in order of appearance."""
+    found = []
+    for match in _URL_RE.finditer(text):
+        url = match.group(0).rstrip(_TRAILING_PUNCT)
+        # Strip a balanced-looking close paren, as in "(see http://x.com/a)".
+        if url.endswith(")") and url.count("(") < url.count(")"):
+            url = url[:-1].rstrip(_TRAILING_PUNCT)
+        if url:
+            found.append(url)
+    return found
+
+
+def _strip_alias_subdomain(host: str) -> str:
+    for prefix in _ALIAS_SUBDOMAINS:
+        if host.startswith(prefix) and host.count(".") >= 2:
+            return host[len(prefix):]
+    return host
+
+
+def canonicalize_url(url: str) -> str:
+    """Return the canonical form of ``url``.
+
+    Canonicalization is idempotent: ``canonicalize_url(canonicalize_url(u))
+    == canonicalize_url(u)`` for any input (property-tested).
+    """
+    url = url.strip()
+    parts = urlsplit(url)
+    scheme = (parts.scheme or "http").lower()
+    if scheme == "https":
+        scheme = "http"  # collapse scheme variants of the same article
+    host = _strip_alias_subdomain(parts.netloc.lower())
+    if host.endswith(":80") or host.endswith(":443"):
+        host = host.rsplit(":", 1)[0]
+    path = parts.path or "/"
+    # Collapse duplicate slashes and a trailing slash (but keep root "/").
+    path = re.sub(r"/{2,}", "/", path)
+    if len(path) > 1 and path.endswith("/"):
+        path = path[:-1]
+    query_pairs = [(k, v) for k, v in parse_qsl(parts.query, keep_blank_values=True)
+                   if k.lower() not in _TRACKER_PARAMS]
+    query_pairs.sort()
+    query = urlencode(query_pairs)
+    return urlunsplit((scheme, host, path, query, ""))
+
+
+def registered_domain(url: str) -> str:
+    """Return the hostname of ``url`` with alias subdomains stripped.
+
+    This is *not* a full public-suffix computation; the registry's
+    longest-suffix :meth:`~repro.news.domains.NewsRegistry.lookup` handles
+    multi-label registered domains such as ``abcnews.go.com``.
+    """
+    host = urlsplit(url).netloc.lower()
+    if ":" in host:
+        host = host.rsplit(":", 1)[0]
+    return _strip_alias_subdomain(host)

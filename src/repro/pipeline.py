@@ -1,0 +1,121 @@
+"""End-to-end pipeline: world -> collection -> analysis inputs.
+
+This module wires the pieces together the way the paper's study ran:
+generate (or obtain) the platforms, crawl them into datasets, slice the
+datasets into the community splits every table uses, and assemble the
+per-URL cascades for the Hawkes influence experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .analysis import characterization as chz
+from .collection import (
+    Dataset,
+    FourchanCrawler,
+    RedditDumpReader,
+    RecrawlStats,
+    TweetRecrawler,
+    TwitterStreamCollector,
+)
+from .config import (
+    HAWKES_PROCESSES,
+    PLATFORM_POL,
+    PLATFORM_REDDIT,
+    PLATFORM_TWITTER,
+    SELECTED_SUBREDDITS,
+)
+from .core.influence import UrlCascade
+from .news.domains import NewsCategory
+from .synthesis.world import World, WorldConfig, build_world
+
+
+@dataclass
+class CollectedData:
+    """Everything the analyses consume, post-collection."""
+
+    world: World
+    twitter: Dataset
+    reddit: Dataset
+    fourchan: Dataset
+    recrawl: RecrawlStats
+
+    # -- canonical slices ---------------------------------------------------
+
+    @property
+    def reddit_six(self) -> Dataset:
+        return chz.slice_six_subreddits(self.reddit)
+
+    @property
+    def reddit_other(self) -> Dataset:
+        return chz.slice_other_subreddits(self.reddit)
+
+    @property
+    def pol(self) -> Dataset:
+        return chz.slice_board(self.fourchan, "/pol/")
+
+    @property
+    def fourchan_other(self) -> Dataset:
+        return chz.slice_other_boards(self.fourchan, "/pol/")
+
+    def sequence_slices(self) -> dict[str, Dataset]:
+        """The three coarse platforms of Tables 8-10 / Figures 7-8."""
+        return {
+            PLATFORM_POL: self.pol,
+            PLATFORM_REDDIT: self.reddit_six,
+            PLATFORM_TWITTER: self.twitter,
+        }
+
+    def merged(self) -> Dataset:
+        return Dataset([*self.twitter.records, *self.reddit.records,
+                        *self.fourchan.records])
+
+    def url_domains(self) -> dict[str, str]:
+        domains: dict[str, str] = {}
+        for dataset in (self.twitter, self.reddit, self.fourchan):
+            for record in dataset:
+                for occurrence in record.urls:
+                    domains.setdefault(occurrence.url, occurrence.domain)
+        return domains
+
+
+def collect(world: World, stream_seed: int = 0) -> CollectedData:
+    """Run all collectors against a world (Section 2.2)."""
+    twitter = TwitterStreamCollector(
+        registry=world.registry, seed=stream_seed).collect(world.twitter)
+    reddit = RedditDumpReader(registry=world.registry).collect(world.reddit)
+    fourchan = FourchanCrawler(registry=world.registry).collect(
+        world.fourchan)
+    recrawl = TweetRecrawler().recrawl(twitter, world.twitter)
+    return CollectedData(world=world, twitter=twitter, reddit=reddit,
+                         fourchan=fourchan, recrawl=recrawl)
+
+
+def generate_and_collect(config: WorldConfig | None = None) -> CollectedData:
+    """Build a world and crawl it — the standard pipeline entry point."""
+    world = build_world(config)
+    return collect(world)
+
+
+def influence_cascades(data: CollectedData) -> list[UrlCascade]:
+    """Assemble per-URL cascades over the eight Hawkes processes.
+
+    Communities outside the eight processes (other subreddits, other
+    boards) are ignored, matching Section 5.2.
+    """
+    allowed = set(HAWKES_PROCESSES)
+    merged = data.merged()
+    categories = merged.url_categories()
+    cascades: list[UrlCascade] = []
+    for url, times in merged.url_timestamps().items():
+        events = tuple((t, community) for t, community in times
+                       if community in allowed)
+        if not events:
+            continue
+        cascades.append(UrlCascade(
+            url=url,
+            category=categories[url],
+            events=events,
+        ))
+    return cascades

@@ -1,0 +1,42 @@
+"""CSV figure-series writers.
+
+Each figure is exported as one CSV whose columns are the plotted
+series; any CSV reader or plotting tool can regenerate the picture.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.stats import Ecdf
+
+
+def ecdf_series(ecdf: Ecdf, n_points: int = 64,
+                log_grid: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) suitable for plotting one CDF curve."""
+    if log_grid:
+        return ecdf.on_log_grid(n_points)
+    return ecdf.steps()
+
+
+def write_series(path: str | Path,
+                 columns: Mapping[str, Sequence]) -> Path:
+    """Write named columns (possibly ragged) to a CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(columns)
+    arrays = [list(columns[name]) for name in names]
+    depth = max((len(a) for a in arrays), default=0)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(depth):
+            writer.writerow([
+                arrays[j][i] if i < len(arrays[j]) else ""
+                for j in range(len(names))
+            ])
+    return path

@@ -1,0 +1,181 @@
+"""One-shot study report: every analysis over one collected dataset.
+
+:func:`generate_study_report` walks the paper's structure — dataset
+overview, characterization, temporal dynamics, sequences, influence —
+and renders a single markdown report.  This is the "run the whole paper
+on my data" entry point for downstream users (also available as
+``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis import characterization as chz
+from ..analysis import sequences, temporal
+from ..config import (
+    HAWKES_PROCESSES,
+    HawkesConfig,
+    STUDY_END,
+    STUDY_START,
+    TWITTER_GAPS,
+)
+from ..news.domains import NewsCategory
+from .tables import render_table
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+
+def _section_overview(data) -> str:
+    named = {
+        "Twitter": data.twitter,
+        "Reddit (six selected subreddits)": data.reddit_six,
+        "Reddit (other subreddits)": data.reddit_other,
+        "4chan (/pol/)": data.pol,
+        "4chan (other boards)": data.fourchan_other,
+    }
+    rows = chz.dataset_overview(named)
+    table = render_table(
+        ["Community", "Posts w/ URLs", "Alt URLs", "Main URLs"],
+        [[r.name, r.posts_with_urls, r.unique_alternative,
+          r.unique_mainstream] for r in rows])
+    return f"## Dataset overview (Table 2)\n\n```\n{table}\n```\n"
+
+
+def _section_domains(data) -> str:
+    parts = ["## Top domains (Tables 5-7)\n"]
+    for name, dataset in (("Twitter", data.twitter),
+                          ("six subreddits", data.reddit_six),
+                          ("/pol/", data.pol)):
+        alt = chz.top_domains(dataset, ALT, 5)
+        main = chz.top_domains(dataset, MAIN, 5)
+        parts.append(f"**{name}** — alternative: " + ", ".join(
+            f"{r.name} ({r.percentage:.1f}%)" for r in alt))
+        parts.append(f"mainstream: " + ", ".join(
+            f"{r.name} ({r.percentage:.1f}%)" for r in main) + "\n")
+    return "\n".join(parts)
+
+
+def _section_users(data) -> str:
+    parts = ["## Per-user behavior (Figure 3)\n"]
+    for name, dataset in (("Twitter", data.twitter),
+                          ("six subreddits", data.reddit_six)):
+        fractions = chz.user_alternative_fraction(dataset)
+        parts.append(
+            f"- {name}: {fractions.n_users} users with news URLs; "
+            f"{fractions.pct_mainstream_only:.1f}% mainstream-only, "
+            f"{fractions.pct_alternative_only:.1f}% alternative-only")
+    return "\n".join(parts) + "\n"
+
+
+def _section_temporal(data) -> str:
+    parts = ["## Temporal dynamics (Figures 5-7, Table 8)\n"]
+    for name, dataset in (("Twitter", data.twitter),
+                          ("six subreddits", data.reddit_six),
+                          ("/pol/", data.pol)):
+        ecdf = temporal.repost_lag_cdf(dataset, MAIN)
+        if ecdf is not None:
+            parts.append(
+                f"- {name}: median repost lag {ecdf.median:.1f} h, "
+                f"{100 * temporal.repost_lag_day_inflection(ecdf):.0f}% "
+                "of reposts within 24 h")
+    pairs = {
+        "Reddit6 vs Twitter": (data.reddit_six, data.twitter),
+        "/pol/ vs Twitter": (data.pol, data.twitter),
+        "/pol/ vs Reddit6": (data.pol, data.reddit_six),
+    }
+    rows = temporal.faster_platform_counts(pairs)
+    table = render_table(
+        ["Comparison", "News type", "#1 faster", "#2 faster"],
+        [[r.comparison, str(r.category), r.faster_on_1, r.faster_on_2]
+         for r in rows])
+    parts.append(f"\n```\n{table}\n```\n")
+    return "\n".join(parts)
+
+
+def _section_sequences(data) -> str:
+    parts = ["## Appearance sequences (Tables 9-10)\n"]
+    slices = data.sequence_slices()
+    for category in (ALT, MAIN):
+        hops = sequences.first_hop_distribution(slices, category)
+        singles = sum(r.percentage for r in hops if "only" in r.sequence)
+        triples = sequences.triplet_distribution(slices, category)
+        top = sorted(triples, key=lambda r: -r.count)[:3]
+        parts.append(
+            f"- {category.value}: {singles:.0f}% single-platform; "
+            "top triplets: " + ", ".join(
+                f"{r.sequence} ({r.percentage:.0f}%)" for r in top))
+    return "\n".join(parts) + "\n"
+
+
+def _section_influence(data, max_urls: int, seed: int) -> str:
+    from ..core import (
+        aggregate_weights,
+        fit_corpus,
+        influence_percentages,
+        select_urls,
+        trim_gap_urls,
+    )
+    from ..pipeline import influence_cascades
+
+    corpus = trim_gap_urls(select_urls(influence_cascades(data)),
+                           TWITTER_GAPS, 0.10)[:max_urls]
+    if len(corpus) < 4:
+        return ("## Influence estimation (Section 5)\n\n"
+                "*Too few URLs qualify for the Hawkes corpus.*\n")
+    config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
+    result = fit_corpus(corpus, config,
+                        rng=np.random.default_rng(seed))
+    parts = [f"## Influence estimation (Section 5, {len(corpus)} URLs)\n"]
+    try:
+        agg = aggregate_weights(result)
+    except ValueError:
+        return parts[0] + "\n*Corpus lacks one of the news categories.*\n"
+    twitter = HAWKES_PROCESSES.index("Twitter")
+    td = HAWKES_PROCESSES.index("The_Donald")
+    pol = HAWKES_PROCESSES.index("/pol/")
+    parts.append(
+        f"- W(Twitter→Twitter): {agg.mean_alternative[twitter, twitter]:.4f} "
+        f"alternative vs {agg.mean_mainstream[twitter, twitter]:.4f} "
+        f"mainstream ({agg.percent_change[twitter, twitter]:+.1f}%)")
+    pct = influence_percentages(result, ALT)
+    parts.append(
+        f"- influence on Twitter's alternative events: The_Donald "
+        f"{pct[td, twitter]:.2f}%, /pol/ {pct[pol, twitter]:.2f}%")
+    stars = agg.significance_stars()
+    significant = int((stars != "").sum())
+    parts.append(f"- {significant}/64 weight cells differ significantly "
+                 "between categories (KS)")
+    return "\n".join(parts) + "\n"
+
+
+def generate_study_report(data, include_influence: bool = True,
+                          max_urls: int = 120, seed: int = 0) -> str:
+    """Render the full study over one :class:`CollectedData`."""
+    sections = [
+        "# Web Centipede study report\n",
+        f"Window: {STUDY_START} .. {STUDY_END} (epoch seconds); "
+        f"records: {len(data.twitter)} Twitter, {len(data.reddit)} "
+        f"Reddit, {len(data.fourchan)} 4chan.\n",
+        _section_overview(data),
+        _section_domains(data),
+        _section_users(data),
+        _section_temporal(data),
+        _section_sequences(data),
+    ]
+    if include_influence:
+        sections.append(_section_influence(data, max_urls, seed))
+    return "\n".join(sections)
+
+
+def write_study_report(data, path: str | Path,
+                       include_influence: bool = True,
+                       max_urls: int = 120, seed: int = 0) -> Path:
+    path = Path(path)
+    path.write_text(generate_study_report(
+        data, include_influence=include_influence, max_urls=max_urls,
+        seed=seed), encoding="utf-8")
+    return path

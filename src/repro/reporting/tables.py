@@ -1,0 +1,72 @@
+"""Monospace table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_matrix_cells(processes: Sequence[str], cell_lines,
+                        title: str | None = None) -> str:
+    """Render a K x K matrix whose cells are short multi-line strings.
+
+    ``cell_lines[i][j]`` is a list of strings (e.g. ``["A: 0.0797",
+    "M: 0.0700", "13.8% **"]``) — the Figure 10/11 cell format.
+    """
+    k = len(processes)
+    depth = max(len(cell_lines[i][j]) for i in range(k) for j in range(k))
+    width = max(
+        max((len(line) for line in cell_lines[i][j]), default=0)
+        for i in range(k) for j in range(k)
+    )
+    width = max(width, max(len(p) for p in processes))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * 14 + "  ".join(p.center(width) for p in processes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, source in enumerate(processes):
+        for level in range(depth):
+            label = source[:13].ljust(13) if level == 0 else " " * 13
+            cells = []
+            for j in range(k):
+                cell = cell_lines[i][j]
+                text = cell[level] if level < len(cell) else ""
+                cells.append(text.center(width))
+            lines.append(label + " " + "  ".join(cells))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.4g}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)

@@ -1,0 +1,31 @@
+"""Synthetic world generation.
+
+The paper's raw data (Twitter Streaming API, Pushshift dumps, a /pol/
+crawler) is no longer obtainable, so this package regenerates a
+statistically faithful corpus: news stories arrive over the study
+window, and each story's cross-community cascade is drawn from a
+ground-truth discrete Hawkes process whose parameters are the paper's
+*own measured* weight matrices (Fig. 10) and background rates
+(Table 11).  The measurement pipeline then re-estimates those
+parameters, closing the loop.
+"""
+
+from .params import GroundTruth, default_ground_truth
+from .users import UserPopulation, UserProfile
+from .stories import StoryArrivals, StorySchedule
+from .cascades import CascadeEngine, StoryCascade
+from .world import World, WorldConfig, build_world
+
+__all__ = [
+    "GroundTruth",
+    "default_ground_truth",
+    "UserPopulation",
+    "UserProfile",
+    "StoryArrivals",
+    "StorySchedule",
+    "CascadeEngine",
+    "StoryCascade",
+    "World",
+    "WorldConfig",
+    "build_world",
+]

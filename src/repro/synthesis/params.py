@@ -1,0 +1,229 @@
+"""Ground-truth parameters for the synthetic world.
+
+The 8x8 interaction weights come from the paper's Figure 10 and the
+background rates from Table 11 — i.e. we simulate from the parameters
+the paper measured, then check that our pipeline measures them back.
+
+Transcription note: in the published figure the *destination* axis runs
+The_Donald..Twitter left to right, but the per-cell text extracted from
+the PDF lists each source row's cells in the *reverse* destination
+order.  We verified the orientation against every claim in the prose:
+``W[Twitter, Twitter]`` = 0.1554 (alt) / 0.1096 (main), The_Donald's
+input column is alternative-dominant in all eight cells, and Twitter's
+outgoing weights are mainstream-dominant everywhere except The_Donald.
+The matrices below are in canonical order (rows = source, columns =
+destination, both ordered as :data:`repro.config.HAWKES_PROCESSES`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import HAWKES_PROCESSES
+
+#: Canonical process order: The_Donald, worldnews, politics, news,
+#: conspiracy, AskReddit, /pol/, Twitter.
+PROCESSES = HAWKES_PROCESSES
+
+#: Figure 10 mean weights, alternative news URLs (rows=source, cols=dest).
+PAPER_WEIGHTS_ALTERNATIVE = np.array([
+    [0.0741, 0.0549, 0.0592, 0.0562, 0.0549, 0.0526, 0.0652, 0.0797],
+    [0.0624, 0.0665, 0.0551, 0.0531, 0.0596, 0.0606, 0.0570, 0.0647],
+    [0.0614, 0.0539, 0.0715, 0.0584, 0.0540, 0.0549, 0.0635, 0.0677],
+    [0.0652, 0.0549, 0.0557, 0.0672, 0.0579, 0.0547, 0.0629, 0.0664],
+    [0.0634, 0.0570, 0.0566, 0.0558, 0.0623, 0.0578, 0.0589, 0.0675],
+    [0.0680, 0.0644, 0.0624, 0.0607, 0.0546, 0.0534, 0.0623, 0.0494],
+    [0.0598, 0.0554, 0.0577, 0.0551, 0.0532, 0.0540, 0.0761, 0.0639],
+    [0.0583, 0.0443, 0.0471, 0.0459, 0.0454, 0.0440, 0.0579, 0.1554],
+])
+
+#: Figure 10 mean weights, mainstream news URLs.
+PAPER_WEIGHTS_MAINSTREAM = np.array([
+    [0.0720, 0.0563, 0.0622, 0.0556, 0.0561, 0.0551, 0.0621, 0.0700],
+    [0.0569, 0.0694, 0.0593, 0.0615, 0.0555, 0.0551, 0.0580, 0.0667],
+    [0.0596, 0.0522, 0.0758, 0.0521, 0.0507, 0.0505, 0.0581, 0.0655],
+    [0.0640, 0.0607, 0.0594, 0.0617, 0.0571, 0.0559, 0.0610, 0.0673],
+    [0.0603, 0.0588, 0.0600, 0.0555, 0.0626, 0.0591, 0.0587, 0.0625],
+    [0.0550, 0.0558, 0.0585, 0.0521, 0.0563, 0.0637, 0.0573, 0.0598],
+    [0.0588, 0.0576, 0.0580, 0.0569, 0.0561, 0.0549, 0.0734, 0.0634],
+    [0.0558, 0.0536, 0.0575, 0.0533, 0.0501, 0.0506, 0.0606, 0.1096],
+])
+
+#: Table 11 mean background rates (events per minute), canonical order.
+PAPER_BACKGROUND_ALTERNATIVE = np.array([
+    0.001627, 0.000619, 0.000696, 0.000553,
+    0.000423, 0.000034, 0.001525, 0.002803,
+])
+PAPER_BACKGROUND_MAINSTREAM = np.array([
+    0.001502, 0.001382, 0.001265, 0.001392,
+    0.000501, 0.000107, 0.001564, 0.002330,
+])
+
+#: Table 11 corpus sizes, used to proportion the synthetic corpus.
+PAPER_URL_COUNTS = {"alternative": 2136, "mainstream": 5589}
+PAPER_EVENT_COUNTS_ALTERNATIVE = np.array(
+    [7797, 458, 2484, 586, 497, 176, 7322, 23172])
+PAPER_EVENT_COUNTS_MAINSTREAM = np.array(
+    [12312, 7517, 26160, 5794, 1995, 2302, 19746, 36250])
+
+#: Table 4 subreddit shares (percent of all-Reddit news URL occurrences)
+#: for subreddits *outside* the selected six, used to spread
+#: "other Reddit" events over named communities.
+OTHER_SUBREDDIT_ALT_SHARES = {
+    "Uncensored": 2.66, "Health": 2.10, "PoliticsAll": 1.54,
+    "Conservative": 1.45, "WhiteRights": 1.21, "KotakuInAction": 1.04,
+    "HillaryForPrison": 0.94, "TheOnion": 0.94, "AskTrumpSupporters": 0.84,
+    "POLITIC": 0.81, "rss_theonion": 0.67, "the_Europe": 0.67,
+    "new_right": 0.60, "AnythingGoesNews": 0.51, "UFOs": 0.35,
+    "C_S_T": 0.30, "DescentIntoTyranny": 0.25, "altnewz": 0.20,
+}
+OTHER_SUBREDDIT_MAIN_SHARES = {
+    "TheColorIsBlue": 3.06, "TheColorIsRed": 2.48, "willis7737_news": 2.27,
+    "news_etc": 1.94, "canada": 1.31, "EnoughTrumpSpam": 1.20,
+    "NoFilterNews": 1.16, "BreakingNews24hr": 1.07, "todayilearned": 0.83,
+    "thenewsrightnow": 0.78, "europe": 0.77, "ReddLineNews": 0.75,
+    "hillaryclinton": 0.73, "nottheonion": 0.73, "ukpolitics": 0.55,
+    "Economics": 0.45, "TrueReddit": 0.40, "inthenews": 0.35,
+}
+
+#: Aggregate processes appended after the canonical eight when the world
+#: generator simulates cascades.
+EXTRA_PROCESSES = ("Reddit-other", "4chan-other")
+
+
+def _impulse_pmf(max_lag: int, decay_minutes: float) -> np.ndarray:
+    """Exponentially decaying lag PMF over ``1..max_lag`` minute bins."""
+    lags = np.arange(1, max_lag + 1, dtype=np.float64)
+    pmf = np.exp(-lags / decay_minutes)
+    return pmf / pmf.sum()
+
+
+@dataclass
+class GroundTruth:
+    """Everything the cascade engine needs to generate stories."""
+
+    processes: tuple[str, ...] = PROCESSES + EXTRA_PROCESSES
+    #: (K+2, K+2) weights per category, canonical 8 extended by the
+    #: aggregate Reddit-other / 4chan-other processes.
+    weights_alternative: np.ndarray = field(default=None)  # type: ignore[assignment]
+    weights_mainstream: np.ndarray = field(default=None)  # type: ignore[assignment]
+    background_alternative: np.ndarray = field(default=None)  # type: ignore[assignment]
+    background_mainstream: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Lag PMF over minutes.  The paper does not report impulse shapes;
+    #: we use exponential decay, much faster for Twitter self-excitation
+    #: (retweets arrive within minutes) than for forum reposts.
+    impulse_decay_minutes: float = 90.0
+    twitter_self_decay_minutes: float = 8.0
+    max_lag_minutes: int = 720
+    #: Mean lag of a local story's repeat posts, per platform kind.
+    local_repost_hours_twitter: float = 0.8
+    local_repost_hours_other: float = 9.0
+    #: Story windows (minutes): lognormal(mu, sigma) of the observation
+    #: span of each viral story.
+    window_log_mean: float = 6.9     # median ~ 1000 min (~17 h)
+    window_log_sigma: float = 1.1
+    min_window_minutes: int = 60
+    max_window_minutes: int = 60 * 24 * 45
+    #: Per-story virality multiplier on background rates.
+    virality_log_mean: float = -0.125
+    virality_log_sigma: float = 0.5
+    #: Fraction of stories that are "viral" (full Hawkes cascade);
+    #: the rest stay essentially on one platform.  The paper's Hawkes
+    #: corpus is a small share of all URLs (7.7k of ~290k unique), so
+    #: local stories must dominate each platform's observed domain mix.
+    viral_fraction: float = 0.10
+    #: Home-platform probabilities for local (non-viral) stories,
+    #: over (Twitter, Reddit-six, /pol/, Reddit-other, 4chan-other);
+    #: proportions follow Table 9's single-platform rows plus Table 2's
+    #: other-community volumes.
+    local_home_probs: tuple[float, ...] = (0.33, 0.22, 0.045, 0.397, 0.008)
+    #: Mean extra posts (geometric) of a local story on its home platform.
+    local_extra_posts_mean: float = 0.8
+    #: Probability a local story leaks one post to another platform.
+    local_leak_prob: float = 0.06
+    #: Viral-story flavor: background multipliers for the story's home
+    #: platform group vs the rest (drives Figure 2's platform-exclusive
+    #: domains while keeping cascades cross-platform).
+    flavor_boost: float = 2.1
+    flavor_damp: float = 0.65
+    #: Optional diurnal (time-of-day) modulation of event times;
+    #: preserves daily counts, disabled by default.
+    diurnal_enabled: bool = False
+    #: Late "recycling" reposts: probability and count per story.
+    recycle_prob: float = 0.17
+    recycle_max_posts: int = 3
+    recycle_horizon_days: int = 150
+
+    def __post_init__(self) -> None:
+        k = len(PROCESSES)
+        if self.weights_alternative is None:
+            self.weights_alternative = _extend_weights(
+                PAPER_WEIGHTS_ALTERNATIVE)
+        if self.weights_mainstream is None:
+            self.weights_mainstream = _extend_weights(
+                PAPER_WEIGHTS_MAINSTREAM)
+        if self.background_alternative is None:
+            self.background_alternative = np.concatenate(
+                [PAPER_BACKGROUND_ALTERNATIVE, [0.0009, 0.00003]])
+        if self.background_mainstream is None:
+            self.background_mainstream = np.concatenate(
+                [PAPER_BACKGROUND_MAINSTREAM, [0.0032, 0.00012]])
+        k_ext = len(self.processes)
+        for name, arr in (("weights_alternative", self.weights_alternative),
+                          ("weights_mainstream", self.weights_mainstream)):
+            if arr.shape != (k_ext, k_ext):
+                raise ValueError(f"{name} must be ({k_ext}, {k_ext})")
+        for name, arr in (("background_alternative",
+                           self.background_alternative),
+                          ("background_mainstream",
+                           self.background_mainstream)):
+            if arr.shape != (k_ext,):
+                raise ValueError(f"{name} must be ({k_ext},)")
+
+    def impulse(self) -> np.ndarray:
+        """(K, K, D) lag PMFs; Twitter self-excitation decays fastest."""
+        k = len(self.processes)
+        pmf = _impulse_pmf(self.max_lag_minutes, self.impulse_decay_minutes)
+        impulse = np.broadcast_to(pmf, (k, k, self.max_lag_minutes)).copy()
+        twitter = self.processes.index("Twitter")
+        impulse[twitter, twitter] = _impulse_pmf(
+            self.max_lag_minutes, self.twitter_self_decay_minutes)
+        return impulse
+
+    def weights(self, alternative: bool) -> np.ndarray:
+        return (self.weights_alternative if alternative
+                else self.weights_mainstream)
+
+    def background(self, alternative: bool) -> np.ndarray:
+        return (self.background_alternative if alternative
+                else self.background_mainstream)
+
+
+def _extend_weights(core: np.ndarray) -> np.ndarray:
+    """Append the aggregate Reddit-other / 4chan-other rows and columns.
+
+    The extras couple weakly to everything (0.03), self-excite like the
+    median community (0.06), and receive typical weights (0.05).
+    """
+    k = core.shape[0]
+    ext = np.full((k + 2, k + 2), 0.03)
+    ext[:k, :k] = core
+    ext[k:, k:] = 0.03
+    ext[k, k] = 0.06
+    ext[k + 1, k + 1] = 0.06
+    ext[:k, k] = 0.05
+    ext[:k, k + 1] = 0.01
+    return ext
+
+
+_DEFAULT: GroundTruth | None = None
+
+
+def default_ground_truth() -> GroundTruth:
+    """Shared default ground truth (paper-calibrated)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = GroundTruth()
+    return _DEFAULT

@@ -1,0 +1,89 @@
+"""Story arrival schedule over the study window.
+
+Stories (unique article URLs) arrive as an inhomogeneous Poisson process
+across the paper's June 2016 - February 2017 window, with rate spikes on
+the 2016 US-election calendar events visible in Figure 4 (the first
+presidential debate and election day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import STUDY_END, STUDY_START
+from ..timeutil import SECONDS_PER_DAY, utc
+
+#: Event calendar driving the Figure 4 spikes (epoch day, multiplier).
+DEFAULT_SPIKES: tuple[tuple[int, float], ...] = (
+    (utc(2016, 9, 26), 2.6),   # first presidential debate
+    (utc(2016, 10, 9), 1.8),   # second debate
+    (utc(2016, 10, 19), 1.8),  # third debate
+    (utc(2016, 11, 8), 3.2),   # election day
+    (utc(2016, 11, 9), 2.4),   # day after
+    (utc(2017, 1, 20), 1.9),   # inauguration
+)
+
+
+@dataclass(frozen=True)
+class StorySchedule:
+    """Arrival timestamps for one category of stories."""
+
+    category: str
+    timestamps: np.ndarray  # epoch seconds, sorted
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+
+@dataclass
+class StoryArrivals:
+    """Inhomogeneous Poisson story arrivals with calendar spikes."""
+
+    start: int = STUDY_START
+    end: int = STUDY_END
+    spikes: tuple[tuple[int, float], ...] = DEFAULT_SPIKES
+    #: Mild weekday/weekend cycle (weekend factor).
+    weekend_factor: float = 0.75
+
+    def daily_rates(self, total_stories: int) -> np.ndarray:
+        """Expected stories per day, scaled to sum to ``total_stories``."""
+        n_days = max(1, (self.end - self.start) // SECONDS_PER_DAY)
+        base = np.ones(n_days)
+        for day in range(n_days):
+            epoch = self.start + day * SECONDS_PER_DAY
+            weekday = ((epoch // SECONDS_PER_DAY) + 3) % 7  # 0=Mon (epoch day 0 was a Thursday)
+            if weekday >= 5:
+                base[day] *= self.weekend_factor
+        for spike_epoch, factor in self.spikes:
+            day = (spike_epoch - self.start) // SECONDS_PER_DAY
+            if 0 <= day < n_days:
+                base[day] *= factor
+        return base * (total_stories / base.sum())
+
+    def spike_multiplier(self, epoch: float) -> float:
+        """Calendar-spike factor for the day containing ``epoch``."""
+        day = int((epoch - self.start) // SECONDS_PER_DAY)
+        factor = 1.0
+        for spike_epoch, spike_factor in self.spikes:
+            if (spike_epoch - self.start) // SECONDS_PER_DAY == day:
+                factor *= spike_factor
+        return factor
+
+    def sample(self, category: str, total_stories: int,
+               rng: np.random.Generator) -> StorySchedule:
+        """Draw story arrival timestamps (approximately ``total_stories``)."""
+        rates = self.daily_rates(total_stories)
+        times: list[float] = []
+        for day, rate in enumerate(rates):
+            count = rng.poisson(rate)
+            if not count:
+                continue
+            day_start = self.start + day * SECONDS_PER_DAY
+            offsets = rng.uniform(0, SECONDS_PER_DAY, size=count)
+            times.extend(day_start + offsets)
+        return StorySchedule(
+            category=category,
+            timestamps=np.sort(np.asarray(times)),
+        )

@@ -1,0 +1,259 @@
+"""Shape validation: the paper's qualitative claims as runnable checks.
+
+A reproduction on synthetic (or future re-collected) data cannot match
+absolute counts, but the paper's *claims* are checkable predicates:
+who dominates which ranking, which direction each asymmetry points,
+where distributions sit relative to each other.  This module encodes
+them; :func:`validate_collected` and :func:`validate_influence` run all
+applicable checks and return structured results (also available via
+``python -m repro`` benchmarks, which assert the same predicates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .analysis import characterization as chz
+from .analysis import sequences, temporal
+from .config import HAWKES_PROCESSES
+from .core.influence import InfluenceResult, aggregate_weights, influence_percentages
+from .news.domains import NewsCategory
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one claim check."""
+
+    claim: str
+    source: str       # where in the paper the claim lives
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim} ({self.detail})"
+
+
+def _check(claim: str, source: str, fn: Callable[[], tuple[bool, str]],
+           ) -> ShapeCheck:
+    try:
+        passed, detail = fn()
+    except Exception as exc:  # checks must never crash the report
+        return ShapeCheck(claim=claim, source=source, passed=False,
+                          detail=f"error: {exc}")
+    return ShapeCheck(claim=claim, source=source, passed=passed,
+                      detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# Section 3-4 claims over collected datasets
+# ---------------------------------------------------------------------------
+
+def validate_collected(data) -> list[ShapeCheck]:
+    """Run every Section 3-4 claim against a :class:`CollectedData`."""
+    checks: list[ShapeCheck] = []
+
+    def mainstream_dominates() -> tuple[bool, str]:
+        values = []
+        for dataset in (data.twitter, data.reddit, data.fourchan):
+            alt = dataset.url_post_count(ALT)
+            main = dataset.url_post_count(MAIN)
+            values.append((alt, main))
+        passed = all(main > alt for alt, main in values)
+        return passed, f"alt/main post counts: {values}"
+    checks.append(_check(
+        "mainstream news URLs outnumber alternative on every platform",
+        "Table 1", mainstream_dominates))
+
+    def breitbart_everywhere() -> tuple[bool, str]:
+        tops = []
+        for dataset in (data.twitter, data.reddit_six, data.pol):
+            ranked = chz.top_domains(dataset, ALT, 1)
+            tops.append(ranked[0].name if ranked else "none")
+        return (all(t == "breitbart.com" for t in tops),
+                f"top alt domains: {tops}")
+    checks.append(_check(
+        "breitbart.com is the top alternative domain on every platform",
+        "Tables 5-7", breitbart_everywhere))
+
+    def the_donald_tops_alt() -> tuple[bool, str]:
+        ranked = chz.top_subreddits(data.reddit, ALT, 1)
+        top = ranked[0].name if ranked else "none"
+        return top == "The_Donald", f"top alt subreddit: {top}"
+    checks.append(_check(
+        "The_Donald leads subreddits on alternative URL occurrences",
+        "Table 4", the_donald_tops_alt))
+
+    def users_mostly_mainstream() -> tuple[bool, str]:
+        twitter = chz.user_alternative_fraction(data.twitter)
+        reddit = chz.user_alternative_fraction(data.reddit_six)
+        passed = (twitter.pct_mainstream_only > 50
+                  and reddit.pct_mainstream_only > 50)
+        return passed, (f"main-only: twitter "
+                        f"{twitter.pct_mainstream_only:.0f}%, reddit6 "
+                        f"{reddit.pct_mainstream_only:.0f}%")
+    checks.append(_check(
+        "most users share only mainstream news",
+        "Figure 3", users_mostly_mainstream))
+
+    def twitter_bots_exist() -> tuple[bool, str]:
+        twitter = chz.user_alternative_fraction(data.twitter)
+        reddit = chz.user_alternative_fraction(data.reddit_six)
+        passed = (twitter.pct_alternative_only
+                  > reddit.pct_alternative_only)
+        return passed, (f"alt-only: twitter "
+                        f"{twitter.pct_alternative_only:.1f}% vs reddit6 "
+                        f"{reddit.pct_alternative_only:.1f}%")
+    checks.append(_check(
+        "Twitter has more alternative-only (bot-like) users than Reddit",
+        "Figure 3 / Section 3", twitter_bots_exist))
+
+    def singles_dominate() -> tuple[bool, str]:
+        slices = data.sequence_slices()
+        shares = []
+        for category in (ALT, MAIN):
+            rows = sequences.first_hop_distribution(slices, category)
+            single = sum(r.percentage for r in rows
+                         if "only" in r.sequence)
+            shares.append(single)
+        return (all(s > 55 for s in shares),
+                f"single-platform shares: {shares[0]:.0f}% alt, "
+                f"{shares[1]:.0f}% main")
+    checks.append(_check(
+        "most URLs appear on a single platform",
+        "Table 9", singles_dominate))
+
+    def pol_rarely_first() -> tuple[bool, str]:
+        slices = data.sequence_slices()
+        ok = True
+        details = []
+        for category in (ALT, MAIN):
+            rows = sequences.first_hop_distribution(slices, category)
+            from_pol = sum(r.percentage for r in rows
+                           if r.sequence.startswith("4→"))
+            from_reddit = sum(r.percentage for r in rows
+                              if r.sequence.startswith("R→"))
+            ok = ok and from_reddit > from_pol
+            details.append(f"{category.value}: R-headed "
+                           f"{from_reddit:.1f}% vs 4-headed "
+                           f"{from_pol:.1f}%")
+        return ok, "; ".join(details)
+    checks.append(_check(
+        "/pol/ rarely originates cross-platform URLs",
+        "Tables 9-10 / Figure 8", pol_rarely_first))
+
+    def reddit_sees_urls_first() -> tuple[bool, str]:
+        lags = temporal.cross_platform_lags(
+            data.reddit_six, data.twitter, "R", "T", MAIN)
+        passed = lags.n_a_first > 0.8 * lags.n_b_first
+        return passed, (f"mainstream first on Reddit {lags.n_a_first} vs "
+                        f"Twitter {lags.n_b_first}")
+    checks.append(_check(
+        "the six subreddits tend to see shared mainstream URLs first",
+        "Table 8", reddit_sees_urls_first))
+
+    def recrawl_asymmetry() -> tuple[bool, str]:
+        alt = data.recrawl.alternative.retrieved_fraction
+        main = data.recrawl.mainstream.retrieved_fraction
+        return (alt <= main + 0.02,
+                f"retrieved: alt {100 * alt:.1f}% vs main "
+                f"{100 * main:.1f}%")
+    checks.append(_check(
+        "alternative tweets are more often unavailable on re-crawl",
+        "Table 3", recrawl_asymmetry))
+
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Section 5 claims over influence results
+# ---------------------------------------------------------------------------
+
+def validate_influence(result: InfluenceResult) -> list[ShapeCheck]:
+    """Run every Section 5 claim against fitted influence results."""
+    checks: list[ShapeCheck] = []
+    agg = aggregate_weights(result)
+    pct_alt = influence_percentages(result, ALT)
+    pct_main = influence_percentages(result, MAIN)
+    twitter = HAWKES_PROCESSES.index("Twitter")
+    td = HAWKES_PROCESSES.index("The_Donald")
+    pol = HAWKES_PROCESSES.index("/pol/")
+
+    def twitter_self_max() -> tuple[bool, str]:
+        passed = (agg.mean_alternative.argmax() == twitter * 8 + twitter
+                  and agg.mean_mainstream.argmax()
+                  == twitter * 8 + twitter)
+        return passed, (f"W(T→T) = {agg.mean_alternative[twitter, twitter]:.4f} alt / "
+                        f"{agg.mean_mainstream[twitter, twitter]:.4f} main")
+    checks.append(_check(
+        "W(Twitter→Twitter) is the largest weight in both categories",
+        "Figure 10", twitter_self_max))
+
+    def twitter_alt_self_stronger() -> tuple[bool, str]:
+        alt = agg.mean_alternative[twitter, twitter]
+        main = agg.mean_mainstream[twitter, twitter]
+        return alt > main, f"{alt:.4f} vs {main:.4f}"
+    checks.append(_check(
+        "Twitter self-excitation is stronger for alternative URLs",
+        "Figure 10 (paper: +41.9%, p<0.01)", twitter_alt_self_stronger))
+
+    def fringe_influences_twitter() -> tuple[bool, str]:
+        fringe = pct_alt[td, twitter] + pct_alt[pol, twitter]
+        return fringe > 1.0, (f"The_Donald {pct_alt[td, twitter]:.2f}% + "
+                              f"/pol/ {pct_alt[pol, twitter]:.2f}%")
+    checks.append(_check(
+        "The_Donald and /pol/ measurably influence Twitter's "
+        "alternative news",
+        "Figure 11 / Section 5.4", fringe_influences_twitter))
+
+    def twitter_dominant_source() -> tuple[bool, str]:
+        wins = 0
+        for j in range(8):
+            if j == twitter:
+                continue
+            sources = [pct_alt[i, j] for i in range(8) if i != j]
+            if pct_alt[twitter, j] == max(sources):
+                wins += 1
+        return wins >= 4, f"Twitter top source for {wins}/7 destinations"
+    checks.append(_check(
+        "Twitter is the most influential single source for most "
+        "destinations",
+        "Figure 11", twitter_dominant_source))
+
+    def asymmetry_td_pol() -> tuple[bool, str]:
+        alt_dir = pct_alt[twitter, pol] > pct_alt[pol, twitter]
+        return alt_dir, (f"T→pol {pct_alt[twitter, pol]:.2f}% vs pol→T "
+                         f"{pct_alt[pol, twitter]:.2f}% (alt)")
+    checks.append(_check(
+        "Twitter influences /pol/ more than /pol/ influences Twitter",
+        "Figure 11", asymmetry_td_pol))
+
+    def background_rates_sane() -> tuple[bool, str]:
+        from .core.influence import corpus_background_rates
+        summary = corpus_background_rates(result)
+        passed = bool(summary.mean_background[ALT].argmax() == twitter)
+        return passed, (f"argmax λ0 alt = "
+                        f"{HAWKES_PROCESSES[summary.mean_background[ALT].argmax()]}")
+    checks.append(_check(
+        "Twitter has the highest mean background rate",
+        "Table 11", background_rates_sane))
+
+    return checks
+
+
+def summarize_checks(checks: list[ShapeCheck]) -> str:
+    """Render a pass/fail report."""
+    lines = []
+    n_passed = sum(c.passed for c in checks)
+    lines.append(f"{n_passed}/{len(checks)} claims reproduced")
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"  [{status}] {check.source}: {check.claim}")
+        lines.append(f"         {check.detail}")
+    return "\n".join(lines)

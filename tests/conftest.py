@@ -1,0 +1,49 @@
+"""Shared fixtures: a small deterministic world and its collected data.
+
+World generation and collection are the expensive steps, so they are
+session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.news.domains import default_registry
+from repro.pipeline import CollectedData, collect, influence_cascades
+from repro.synthesis.world import WorldConfig, build_world
+
+
+SMALL_CONFIG = WorldConfig(
+    seed=11,
+    n_stories_alternative=220,
+    n_stories_mainstream=650,
+    n_twitter_users=250,
+    n_reddit_users=200,
+    n_generic_subreddits=30,
+)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_world(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def collected(small_world) -> CollectedData:
+    return collect(small_world)
+
+
+@pytest.fixture(scope="session")
+def cascades(collected):
+    return influence_cascades(collected)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,162 @@
+"""Tests for Section 3 characterization analyses (Tables 1-7, Figs 1-3)."""
+
+import pytest
+
+from repro.analysis import characterization as chz
+from repro.collection.store import Dataset, DatasetRecord, UrlOccurrence
+from repro.news.domains import NewsCategory
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+
+def rec(post_id, community, author, t, urls, platform="reddit"):
+    return DatasetRecord(post_id=post_id, platform=platform,
+                         community=community, author_id=author,
+                         created_at=t, urls=tuple(urls))
+
+
+def alt_url(i):
+    return UrlOccurrence(f"http://breitbart.com/a{i}", "breitbart.com", ALT)
+
+
+def main_url(i, domain="cnn.com"):
+    return UrlOccurrence(f"http://{domain}/m{i}", domain, MAIN)
+
+
+@pytest.fixture()
+def reddit_ds():
+    return Dataset([
+        rec("p1", "politics", "u1", 100, [main_url(1)]),
+        rec("p2", "politics", "u1", 200, [alt_url(1)]),
+        rec("p3", "The_Donald", "u2", 300, [alt_url(1), alt_url(2)]),
+        rec("p4", "news", "u3", 400, [main_url(2, "nytimes.com")]),
+        rec("p5", "sub_0001", "u4", 500, [main_url(3)]),
+        rec("p6", "AutoNewspaper", "bot", 600, [main_url(4)]),
+    ])
+
+
+class TestTable1:
+    def test_shares(self, reddit_ds):
+        rows = chz.total_post_shares({"reddit": 1000},
+                                     {"reddit": reddit_ds})
+        row = rows[0]
+        assert row.total_posts == 1000
+        assert row.pct_alternative == pytest.approx(0.2)  # 2 posts / 1000
+        assert row.pct_mainstream == pytest.approx(0.4)
+
+    def test_zero_total(self):
+        rows = chz.total_post_shares({"x": 0}, {"x": Dataset()})
+        assert rows[0].pct_alternative == 0.0
+
+
+class TestTable2:
+    def test_overview(self, reddit_ds):
+        rows = chz.dataset_overview({"Reddit": reddit_ds})
+        row = rows[0]
+        assert row.posts_with_urls == 6
+        assert row.unique_alternative == 2
+        assert row.unique_mainstream == 4
+
+
+class TestTables4to7:
+    def test_top_subreddits_excludes_automated(self, reddit_ds):
+        ranked = chz.top_subreddits(reddit_ds, MAIN)
+        names = [row.name for row in ranked]
+        assert "AutoNewspaper" not in names
+        assert "politics" in names
+
+    def test_top_subreddits_counts_occurrences(self, reddit_ds):
+        ranked = chz.top_subreddits(reddit_ds, ALT)
+        top = ranked[0]
+        assert top.name == "The_Donald"
+        assert top.count == 2
+        assert top.percentage == pytest.approx(100 * 2 / 3)
+
+    def test_top_domains(self, reddit_ds):
+        ranked = chz.top_domains(reddit_ds, MAIN)
+        assert ranked[0].name == "cnn.com"
+        assert ranked[0].count == 3
+        total_pct = sum(row.percentage for row in ranked)
+        assert total_pct == pytest.approx(100.0)
+
+    def test_top_n_truncation(self, reddit_ds):
+        ranked = chz.top_domains(reddit_ds, MAIN, top_n=1)
+        assert len(ranked) == 1
+
+    def test_coverage(self, reddit_ds):
+        assert chz.top_domain_coverage(reddit_ds, MAIN, top_n=20) == \
+            pytest.approx(100.0)
+        assert chz.top_domain_coverage(reddit_ds, MAIN, top_n=1) == \
+            pytest.approx(75.0)
+
+
+class TestSlices:
+    def test_six_subreddits(self, reddit_ds):
+        six = chz.slice_six_subreddits(reddit_ds)
+        assert {r.community for r in six} <= {
+            "The_Donald", "worldnews", "politics", "news", "conspiracy",
+            "AskReddit"}
+        assert len(six) == 4
+
+    def test_other_subreddits(self, reddit_ds):
+        other = chz.slice_other_subreddits(reddit_ds)
+        assert {r.community for r in other} == {"sub_0001", "AutoNewspaper"}
+
+    def test_board_slices(self):
+        ds = Dataset([
+            rec("c1", "/pol/", None, 1, [alt_url(1)], platform="4chan"),
+            rec("c2", "/sp/", None, 2, [main_url(1)], platform="4chan"),
+        ])
+        assert len(chz.slice_board(ds, "/pol/")) == 1
+        assert len(chz.slice_other_boards(ds, "/pol/")) == 1
+
+
+class TestFig1:
+    def test_appearance_counts(self, reddit_ds):
+        ecdf = chz.url_appearance_cdf(reddit_ds, ALT)
+        # alt1 appears twice, alt2 once
+        assert ecdf.n == 2
+        assert ecdf(1) == pytest.approx(0.5)
+        assert ecdf(2) == pytest.approx(1.0)
+
+    def test_empty_slice_returns_none(self):
+        assert chz.url_appearance_cdf(Dataset(), ALT) is None
+
+
+class TestFig2:
+    def test_platform_fractions(self, reddit_ds):
+        twitter_ds = Dataset([
+            rec("t1", "Twitter", "v1", 100, [alt_url(1)],
+                platform="twitter"),
+        ])
+        rows = chz.domain_platform_fractions(
+            {"Reddit": reddit_ds, "Twitter": twitter_ds}, ALT)
+        assert rows[0].domain == "breitbart.com"
+        assert rows[0].total == 4
+        assert rows[0].fractions["Reddit"] == pytest.approx(0.75)
+        assert rows[0].fractions["Twitter"] == pytest.approx(0.25)
+
+    def test_fractions_sum_to_one(self, reddit_ds):
+        rows = chz.domain_platform_fractions({"Reddit": reddit_ds}, MAIN)
+        for row in rows:
+            assert sum(row.fractions.values()) == pytest.approx(1.0)
+
+
+class TestFig3:
+    def test_user_fractions(self, reddit_ds):
+        result = chz.user_alternative_fraction(reddit_ds)
+        # u1 mixed (0.5), u2 alt-only (1.0), u3 main-only, u4 main-only,
+        # bot main-only
+        assert result.n_users == 5
+        assert result.pct_alternative_only == pytest.approx(20.0)
+        assert result.pct_mainstream_only == pytest.approx(60.0)
+        assert result.mixed_users.n == 1
+        assert result.mixed_users.values[0] == pytest.approx(0.5)
+
+    def test_anonymous_records_ignored(self):
+        ds = Dataset([rec("c1", "/pol/", None, 1, [alt_url(1)],
+                          platform="4chan")])
+        result = chz.user_alternative_fraction(ds)
+        assert result.n_users == 0
+        assert result.all_users is None

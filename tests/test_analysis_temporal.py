@@ -1,0 +1,165 @@
+"""Tests for Section 4 temporal analyses (Figs 4-7, Table 8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import temporal
+from repro.collection.store import Dataset, DatasetRecord, UrlOccurrence
+from repro.news.domains import NewsCategory
+from repro.timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+
+def rec(post_id, t, urls, community="Twitter", platform="twitter"):
+    return DatasetRecord(post_id=post_id, platform=platform,
+                         community=community, author_id="u",
+                         created_at=float(t), urls=tuple(urls))
+
+
+def url(u, category=ALT, domain="breitbart.com"):
+    return UrlOccurrence(u, domain, category)
+
+
+class TestDailyOccurrence:
+    def test_daily_counts(self):
+        ds = Dataset([
+            rec("p1", 100, [url("a")]),
+            rec("p2", 200, [url("a"), url("b", MAIN, "cnn.com")]),
+            rec("p3", SECONDS_PER_DAY + 5, [url("c", MAIN, "cnn.com")]),
+        ])
+        series = temporal.daily_occurrence(ds, "Twitter", 0,
+                                           3 * SECONDS_PER_DAY)
+        assert series.n_days == 3
+        assert list(series.alternative) == [2, 0, 0]
+        assert list(series.mainstream) == [1, 1, 0]
+
+    def test_out_of_window_ignored(self):
+        ds = Dataset([rec("p1", 10 * SECONDS_PER_DAY, [url("a")])])
+        series = temporal.daily_occurrence(ds, "x", 0, SECONDS_PER_DAY)
+        assert series.alternative.sum() == 0
+
+    def test_normalized(self):
+        ds = Dataset([
+            rec("p1", 100, [url("a")]),
+            rec("p2", SECONDS_PER_DAY + 1, [url("b", MAIN, "cnn.com")]),
+        ])
+        series = temporal.daily_occurrence(ds, "x", 0, 2 * SECONDS_PER_DAY)
+        normalized = series.normalized(ALT)
+        # avg daily total urls = 1; day 0 alt count = 1
+        assert normalized[0] == pytest.approx(1.0)
+        assert normalized[1] == pytest.approx(0.0)
+
+    def test_alternative_fraction_nan_on_empty_days(self):
+        ds = Dataset([rec("p1", 100, [url("a")])])
+        series = temporal.daily_occurrence(ds, "x", 0, 2 * SECONDS_PER_DAY)
+        fraction = series.alternative_fraction()
+        assert fraction[0] == pytest.approx(1.0)
+        assert np.isnan(fraction[1])
+
+
+class TestRepostLags:
+    def test_lags_from_first(self):
+        ds = Dataset([
+            rec("p1", 0, [url("a")]),
+            rec("p2", 2 * SECONDS_PER_HOUR, [url("a")]),
+            rec("p3", 5 * SECONDS_PER_HOUR, [url("a")]),
+            rec("p4", 0, [url("b")]),  # single occurrence: no lags
+        ])
+        ecdf = temporal.repost_lag_cdf(ds, ALT)
+        assert ecdf.n == 2
+        assert list(ecdf.values) == [2.0, 5.0]  # hours
+
+    def test_none_when_no_reposts(self):
+        ds = Dataset([rec("p1", 0, [url("a")])])
+        assert temporal.repost_lag_cdf(ds, ALT) is None
+
+    def test_day_inflection(self):
+        ds = Dataset([
+            rec("p1", 0, [url("a")]),
+            rec("p2", SECONDS_PER_HOUR, [url("a")]),
+            rec("p3", 3 * SECONDS_PER_DAY, [url("a")]),
+        ])
+        ecdf = temporal.repost_lag_cdf(ds, ALT)
+        assert temporal.repost_lag_day_inflection(ecdf) == pytest.approx(0.5)
+
+
+class TestInterarrival:
+    def test_mean_interarrival(self):
+        ds = Dataset([
+            rec("p1", 0, [url("a")]),
+            rec("p2", 100, [url("a")]),
+            rec("p3", 300, [url("a")]),
+        ])
+        ecdf = temporal.interarrival_cdf(ds, ALT)
+        assert ecdf.n == 1
+        assert ecdf.values[0] == pytest.approx(150.0)
+
+    def test_restricted_urls(self):
+        ds = Dataset([
+            rec("p1", 0, [url("a")]),
+            rec("p2", 100, [url("a")]),
+            rec("p3", 0, [url("b")]),
+            rec("p4", 100, [url("b")]),
+        ])
+        ecdf = temporal.interarrival_cdf(ds, ALT, restrict_urls={"a"})
+        assert ecdf.n == 1
+
+    def test_common_urls(self):
+        ds1 = Dataset([rec("p1", 0, [url("a"), url("b")])])
+        ds2 = Dataset([rec("p2", 0, [url("a")])])
+        common = temporal.common_urls({"x": ds1, "y": ds2})
+        assert common == {"a"}
+
+    def test_common_urls_empty_input(self):
+        assert temporal.common_urls({}) == set()
+
+
+class TestCrossPlatform:
+    def make_pair(self):
+        # URL a: first on A (t=0), then B (t=100)
+        # URL b: first on B (t=0), then A (t=50)
+        # URL c: only on A
+        ds_a = Dataset([
+            rec("a1", 0, [url("a")], community="A"),
+            rec("b1", 50, [url("b")], community="A"),
+            rec("c1", 0, [url("c")], community="A"),
+        ])
+        ds_b = Dataset([
+            rec("a2", 100, [url("a")], community="B"),
+            rec("b2", 0, [url("b")], community="B"),
+        ])
+        return ds_a, ds_b
+
+    def test_direction_split(self):
+        ds_a, ds_b = self.make_pair()
+        lags = temporal.cross_platform_lags(ds_a, ds_b, "A", "B", ALT)
+        assert lags.n_a_first == 1
+        assert lags.n_b_first == 1
+        assert lags.a_first.values[0] == pytest.approx(100.0)
+        assert lags.b_first.values[0] == pytest.approx(50.0)
+
+    def test_simultaneous_excluded(self):
+        ds_a = Dataset([rec("p1", 0, [url("a")], community="A")])
+        ds_b = Dataset([rec("p2", 0, [url("a")], community="B")])
+        lags = temporal.cross_platform_lags(ds_a, ds_b, "A", "B", ALT)
+        assert lags.n_a_first == 0
+        assert lags.n_b_first == 0
+
+    def test_turning_share(self):
+        ds_a, ds_b = self.make_pair()
+        lags = temporal.cross_platform_lags(ds_a, ds_b, "A", "B", ALT)
+        share_a, share_b = lags.turning_share_24h()
+        assert share_a == 1.0
+        assert share_b == 1.0
+
+    def test_faster_counts_table(self):
+        ds_a, ds_b = self.make_pair()
+        rows = temporal.faster_platform_counts({"A vs B": (ds_a, ds_b)})
+        assert len(rows) == 2  # mainstream + alternative
+        alt_row = next(r for r in rows if r.category == ALT)
+        assert alt_row.faster_on_1 == 1
+        assert alt_row.faster_on_2 == 1
+        main_row = next(r for r in rows if r.category == MAIN)
+        assert main_row.faster_on_1 == 0

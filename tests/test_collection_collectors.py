@@ -1,0 +1,198 @@
+"""Tests for the stream collector, crawlers, and tweet re-crawler."""
+
+import pytest
+
+from repro.collection.crawlers import FourchanCrawler, RedditDumpReader
+from repro.collection.recrawl import TweetRecrawler
+from repro.collection.streaming import TwitterStreamCollector
+from repro.config import STUDY_START, TWITTER_GAPS
+from repro.news.domains import NewsCategory
+from repro.platforms.fourchan import ARCHIVE_RETENTION, FourchanPlatform
+from repro.platforms.reddit import RedditPlatform
+from repro.platforms.twitter import TwitterPlatform
+from repro.timeutil import Interval, utc
+
+
+def make_twitter_with_tweets(times_and_texts):
+    platform = TwitterPlatform()
+    user = platform.register_user("u", 0)
+    for created_at, text in times_and_texts:
+        platform.post_tweet(user.user_id, text, created_at)
+    return platform
+
+
+NEWS_TEXT = "read http://breitbart.com/news/x-{} now"
+PLAIN_TEXT = "nothing to see here {}"
+
+
+class TestTwitterStream:
+    def test_keeps_only_news_tweets(self):
+        platform = make_twitter_with_tweets([
+            (STUDY_START + 10, NEWS_TEXT.format(1)),
+            (STUDY_START + 20, PLAIN_TEXT.format(1)),
+        ])
+        dataset = TwitterStreamCollector().collect(platform)
+        assert len(dataset) == 1
+        assert dataset.records[0].urls[0].domain == "breitbart.com"
+
+    def test_gap_windows_skipped(self):
+        inside_gap = utc(2016, 10, 29)  # first Twitter gap
+        platform = make_twitter_with_tweets([
+            (inside_gap, NEWS_TEXT.format(1)),
+            (STUDY_START + 10, NEWS_TEXT.format(2)),
+        ])
+        dataset = TwitterStreamCollector().collect(platform)
+        assert len(dataset) == 1
+        assert dataset.records[0].created_at == STUDY_START + 10
+
+    def test_sample_rate(self):
+        tweets = [(STUDY_START + i, NEWS_TEXT.format(i))
+                  for i in range(2000)]
+        platform = make_twitter_with_tweets(tweets)
+        collector = TwitterStreamCollector(sample_rate=0.25, seed=3)
+        dataset = collector.collect(platform)
+        assert len(dataset) == pytest.approx(500, rel=0.2)
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            TwitterStreamCollector(sample_rate=0.0)
+
+    def test_records_sorted_by_time(self):
+        platform = make_twitter_with_tweets([
+            (STUDY_START + 100, NEWS_TEXT.format(1)),
+            (STUDY_START + 10, NEWS_TEXT.format(2)),
+        ])
+        dataset = TwitterStreamCollector().collect(platform)
+        times = [r.created_at for r in dataset]
+        assert times == sorted(times)
+
+
+class TestRedditDump:
+    def test_collects_posts_and_comments(self):
+        platform = RedditPlatform()
+        platform.create_subreddit("politics")
+        post = platform.submit_post("politics", "a", "T", 100,
+                                    body="http://cnn.com/x")
+        platform.submit_comment(post.post_id, "b",
+                                "see http://rt.com/y", 200)
+        platform.submit_comment(post.post_id, "c", "no links", 300)
+        dataset = RedditDumpReader().collect(platform)
+        assert len(dataset) == 2
+        communities = {r.community for r in dataset}
+        assert communities == {"politics"}
+
+    def test_no_gaps_for_reddit(self):
+        # Pushshift dumps are complete: a post inside a Twitter gap window
+        # is still collected.
+        platform = RedditPlatform()
+        platform.create_subreddit("news")
+        platform.submit_post("news", "a", "T", utc(2016, 12, 1),
+                             body="http://cnn.com/x")
+        dataset = RedditDumpReader().collect(platform)
+        assert len(dataset) == 1
+
+
+class TestFourchanCrawler:
+    def make_platform(self):
+        platform = FourchanPlatform()
+        platform.create_board("pol", thread_capacity=2)
+        return platform
+
+    def test_collects_url_posts(self):
+        platform = self.make_platform()
+        thread = platform.create_thread(
+            "pol", "look http://infowars.com/a", STUDY_START)
+        platform.reply(thread.thread_id, "no url", STUDY_START + 60)
+        dataset = FourchanCrawler().collect(platform)
+        assert len(dataset) == 1
+        assert dataset.records[0].community == "/pol/"
+
+    def test_board_filter(self):
+        platform = self.make_platform()
+        platform.create_board("sp")
+        platform.create_thread("pol", "http://rt.com/a", STUDY_START)
+        platform.create_thread("sp", "http://rt.com/b", STUDY_START)
+        only_pol = FourchanCrawler().collect(platform, boards=["/pol/"])
+        assert len(only_pol) == 1
+
+    def test_post_lost_when_whole_life_inside_gap(self):
+        gap = Interval(utc(2016, 12, 16), utc(2016, 12, 26))
+        platform = self.make_platform()
+        # Thread created and purged inside the gap, and its 7-day archive
+        # retention also elapses inside the gap window? Retention is 7
+        # days, gap is 10 days, so a thread purged in the first 3 gap
+        # days is gone before the crawler returns.
+        t_created = gap.start + 3600
+        thread = platform.create_thread(
+            "pol", "http://rt.com/lost", t_created)
+        # purge immediately by filling the board
+        platform.create_thread("pol", "filler1", t_created + 60)
+        platform.create_thread("pol", "filler2", t_created + 120)
+        assert thread.purged_at is not None
+        crawler = FourchanCrawler(gaps=(gap,))
+        dataset = crawler.collect(platform)
+        urls = {u.url for r in dataset for u in r.urls}
+        assert "http://rt.com/lost" not in urls
+
+    def test_post_recovered_when_thread_outlives_gap(self):
+        gap = Interval(utc(2016, 12, 16), utc(2016, 12, 26))
+        platform = self.make_platform()
+        thread = platform.create_thread(
+            "pol", "http://rt.com/kept", gap.start + 3600)
+        # never purged -> crawler picks it up after the gap
+        crawler = FourchanCrawler(gaps=(gap,))
+        dataset = crawler.collect(platform)
+        urls = {u.url for r in dataset for u in r.urls}
+        assert "http://rt.com/kept" in urls
+
+    def test_anonymous_records(self):
+        platform = self.make_platform()
+        platform.create_thread("pol", "http://rt.com/a", STUDY_START)
+        dataset = FourchanCrawler().collect(platform)
+        assert dataset.records[0].author_id is None
+
+
+class TestRecrawler:
+    def test_counts_and_engagement(self):
+        platform = TwitterPlatform()
+        user = platform.register_user("u", 0)
+        alive = platform.post_tweet(
+            user.user_id, NEWS_TEXT.format(1), STUDY_START + 5)
+        alive.retweet_count = 10
+        alive.like_count = 2
+        dead = platform.post_tweet(
+            user.user_id, NEWS_TEXT.format(2), STUDY_START + 6)
+        platform.delete_tweet(dead.tweet_id)
+        dataset = TwitterStreamCollector().collect(platform)
+        stats = TweetRecrawler().recrawl(dataset, platform)
+        alt = stats.of(NewsCategory.ALTERNATIVE)
+        assert alt.tweets == 2
+        assert alt.retrieved == 1
+        assert alt.retrieved_fraction == pytest.approx(0.5)
+        assert alt.mean_retweets == pytest.approx(10)
+        assert alt.mean_likes == pytest.approx(2)
+
+    def test_retweet_engagement_credited_from_original(self):
+        platform = TwitterPlatform()
+        a = platform.register_user("a", 0)
+        b = platform.register_user("b", 0)
+        original = platform.post_tweet(
+            a.user_id, NEWS_TEXT.format(3), STUDY_START + 5)
+        original.retweet_count = 99
+        platform.retweet(b.user_id, original.tweet_id, STUDY_START + 50)
+        dataset = TwitterStreamCollector().collect(platform)
+        stats = TweetRecrawler().recrawl(dataset, platform)
+        alt = stats.of(NewsCategory.ALTERNATIVE)
+        assert alt.tweets == 2
+        assert max(alt.retweets) >= 99
+
+    def test_mixed_category_tweet_counted_in_both(self):
+        platform = TwitterPlatform()
+        user = platform.register_user("u", 0)
+        platform.post_tweet(
+            user.user_id,
+            "http://rt.com/a http://cnn.com/b", STUDY_START + 5)
+        dataset = TwitterStreamCollector().collect(platform)
+        stats = TweetRecrawler().recrawl(dataset, platform)
+        assert stats.alternative.tweets == 1
+        assert stats.mainstream.tweets == 1

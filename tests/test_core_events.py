@@ -1,0 +1,134 @@
+"""Tests for sparse discrete event sequences and binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.events import DiscreteEvents, bin_timestamps
+
+
+def make_events(pairs, n_bins=100, n_processes=3):
+    return DiscreteEvents.from_pairs(pairs, n_bins=n_bins,
+                                     n_processes=n_processes)
+
+
+class TestDiscreteEvents:
+    def test_from_pairs_counts_duplicates(self):
+        events = make_events([(5, 0), (5, 0), (7, 1)])
+        assert events.total_events == 3
+        assert len(events) == 2  # two occupied (bin, process) cells
+
+    def test_bins_sorted(self):
+        events = make_events([(9, 0), (2, 1), (5, 2)])
+        assert list(events.bins) == [2, 5, 9]
+
+    def test_events_per_process(self):
+        events = make_events([(1, 0), (2, 0), (3, 2)])
+        assert list(events.events_per_process()) == [2, 0, 1]
+
+    def test_dense_round_trip(self):
+        events = make_events([(1, 0), (1, 2), (50, 1), (50, 1)])
+        dense = events.to_dense()
+        assert dense.shape == (100, 3)
+        assert dense.sum() == 4
+        back = DiscreteEvents.from_dense(dense)
+        assert back.total_events == events.total_events
+        assert list(back.bins) == list(events.bins)
+
+    def test_empty(self):
+        events = make_events([])
+        assert events.total_events == 0
+        assert events.to_dense().sum() == 0
+
+    def test_out_of_range_bin_rejected(self):
+        with pytest.raises(ValueError):
+            make_events([(100, 0)], n_bins=100)
+
+    def test_out_of_range_process_rejected(self):
+        with pytest.raises(ValueError):
+            make_events([(0, 3)], n_processes=3)
+
+    def test_unsorted_bins_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteEvents(
+                bins=np.array([5, 2]),
+                processes=np.array([0, 0]),
+                counts=np.array([1, 1]),
+                n_bins=10, n_processes=1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteEvents(
+                bins=np.array([1]),
+                processes=np.array([0]),
+                counts=np.array([0]),
+                n_bins=10, n_processes=1)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteEvents(
+                bins=np.array([1, 2]),
+                processes=np.array([0]),
+                counts=np.array([1]),
+                n_bins=10, n_processes=1)
+
+
+class TestBinTimestamps:
+    def test_origin_defaults_to_first_event(self):
+        events = bin_timestamps([1000.0, 1060.0, 1120.0], [0, 1, 0],
+                                n_processes=2, delta_t=60)
+        assert list(events.bins) == [0, 1, 2]
+        assert events.n_bins == 3
+
+    def test_same_minute_same_bin(self):
+        events = bin_timestamps([0.0, 30.0, 59.9], [0, 0, 0],
+                                n_processes=1, delta_t=60)
+        assert len(events) == 1
+        assert events.counts[0] == 3
+
+    def test_explicit_origin(self):
+        events = bin_timestamps([120.0], [0], n_processes=1, delta_t=60,
+                                origin=0.0)
+        assert list(events.bins) == [2]
+
+    def test_timestamp_before_origin_rejected(self):
+        with pytest.raises(ValueError):
+            bin_timestamps([10.0], [0], n_processes=1, origin=100.0)
+
+    def test_empty_input(self):
+        events = bin_timestamps([], [], n_processes=4)
+        assert events.total_events == 0
+        assert events.n_processes == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bin_timestamps([1.0, 2.0], [0], n_processes=1)
+
+    def test_delta_t_scaling(self):
+        stamps = [0.0, 100.0, 200.0]
+        coarse = bin_timestamps(stamps, [0] * 3, n_processes=1, delta_t=300)
+        fine = bin_timestamps(stamps, [0] * 3, n_processes=1, delta_t=50)
+        assert coarse.n_bins == 1
+        assert fine.n_bins == 5
+
+
+@given(st.lists(st.tuples(st.floats(0, 10_000), st.integers(0, 4)),
+                min_size=1, max_size=60))
+def test_binning_conserves_events(pairs):
+    stamps = [t for t, _ in pairs]
+    procs = [k for _, k in pairs]
+    events = bin_timestamps(stamps, procs, n_processes=5, delta_t=60)
+    assert events.total_events == len(pairs)
+    per_proc = events.events_per_process()
+    for k in range(5):
+        assert per_proc[k] == sum(1 for p in procs if p == k)
+
+
+@given(st.lists(st.tuples(st.integers(0, 99), st.integers(0, 2)),
+                max_size=40))
+def test_dense_sparse_round_trip(pairs):
+    events = DiscreteEvents.from_pairs(pairs, n_bins=100, n_processes=3)
+    back = DiscreteEvents.from_dense(events.to_dense())
+    assert np.array_equal(back.bins, events.bins)
+    assert np.array_equal(back.processes, events.processes)
+    assert np.array_equal(back.counts, events.counts)

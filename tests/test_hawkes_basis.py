@@ -1,0 +1,117 @@
+"""Tests for lag-PMF bases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hawkes.basis import DirichletLagBasis, LagBasis, LogBinnedLagBasis
+
+
+class TestDirichletBasis:
+    def test_buckets_equal_lags(self):
+        basis = DirichletLagBasis(10)
+        assert basis.n_buckets == 10
+        assert basis.max_lag == 10
+
+    def test_expand_is_identity(self):
+        basis = DirichletLagBasis(5)
+        pmf = np.array([0.5, 0.2, 0.1, 0.1, 0.1])
+        assert np.allclose(basis.expand(pmf), pmf)
+
+    def test_contract_is_identity(self):
+        basis = DirichletLagBasis(5)
+        pmf = np.array([0.5, 0.2, 0.1, 0.1, 0.1])
+        assert np.allclose(basis.contract(pmf), pmf)
+
+
+class TestLogBinnedBasis:
+    def test_covers_all_lags(self):
+        basis = LogBinnedLagBasis(720, n_buckets=12)
+        assert basis.max_lag == 720
+        assert basis.bucket_sizes.sum() == 720
+        assert len(basis.bucket_of) == 720
+
+    def test_bucket_of_monotone(self):
+        basis = LogBinnedLagBasis(720, n_buckets=12)
+        assert np.all(np.diff(basis.bucket_of) >= 0)
+
+    def test_early_lags_fine_resolution(self):
+        basis = LogBinnedLagBasis(720, n_buckets=12)
+        # first bucket covers only lag 1
+        assert basis.bucket_sizes[0] <= 2
+        # last bucket is much coarser
+        assert basis.bucket_sizes[-1] > 50
+
+    def test_expand_sums_to_one(self):
+        basis = LogBinnedLagBasis(720, n_buckets=12)
+        bucket_pmf = np.full(basis.n_buckets, 1.0 / basis.n_buckets)
+        per_lag = basis.expand(bucket_pmf)
+        assert per_lag.shape == (720,)
+        assert abs(per_lag.sum() - 1.0) < 1e-9
+
+    def test_expand_uniform_within_bucket(self):
+        basis = LogBinnedLagBasis(100, n_buckets=5)
+        bucket_pmf = np.zeros(basis.n_buckets)
+        bucket_pmf[-1] = 1.0
+        per_lag = basis.expand(bucket_pmf)
+        inside = per_lag[basis.bucket_of == basis.n_buckets - 1]
+        assert np.allclose(inside, inside[0])
+        assert np.all(per_lag[basis.bucket_of != basis.n_buckets - 1] == 0)
+
+    def test_contract_inverts_expand_on_buckets(self):
+        basis = LogBinnedLagBasis(200, n_buckets=8)
+        bucket_pmf = np.random.default_rng(0).dirichlet(
+            np.ones(basis.n_buckets))
+        recovered = basis.contract(basis.expand(bucket_pmf))
+        assert np.allclose(recovered, bucket_pmf)
+
+    def test_expand_batched(self):
+        basis = LogBinnedLagBasis(50, n_buckets=4)
+        batch = np.random.default_rng(1).dirichlet(
+            np.ones(basis.n_buckets), size=(3, 2))
+        per_lag = basis.expand(batch)
+        assert per_lag.shape == (3, 2, 50)
+        assert np.allclose(per_lag.sum(axis=-1), 1.0)
+
+    def test_more_buckets_than_lags_degrades_gracefully(self):
+        basis = LogBinnedLagBasis(5, n_buckets=100)
+        assert basis.n_buckets == 5
+
+    def test_single_bucket(self):
+        basis = LogBinnedLagBasis(10, n_buckets=1)
+        assert basis.n_buckets == 1
+        assert np.allclose(basis.expand(np.array([1.0])), 0.1)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            LogBinnedLagBasis(10, n_buckets=0)
+
+    def test_wrong_pmf_size_rejected(self):
+        basis = LogBinnedLagBasis(100, n_buckets=5)
+        with pytest.raises(ValueError):
+            basis.expand(np.ones(7))
+        with pytest.raises(ValueError):
+            basis.contract(np.ones(7))
+
+
+class TestLagBasisValidation:
+    def test_mismatched_bucket_of_rejected(self):
+        with pytest.raises(ValueError):
+            LagBasis(max_lag=10, bucket_of=np.zeros(5, dtype=np.int64),
+                     bucket_sizes=np.array([10]))
+
+    def test_wrong_sizes_sum_rejected(self):
+        with pytest.raises(ValueError):
+            LagBasis(max_lag=10, bucket_of=np.zeros(10, dtype=np.int64),
+                     bucket_sizes=np.array([5]))
+
+
+@given(max_lag=st.integers(2, 500), n_buckets=st.integers(1, 30))
+def test_log_basis_partition_property(max_lag, n_buckets):
+    basis = LogBinnedLagBasis(max_lag, n_buckets)
+    assert basis.bucket_sizes.sum() == max_lag
+    assert basis.bucket_of[0] == 0
+    assert basis.bucket_of[-1] == basis.n_buckets - 1
+    # expand of any dirichlet stays a PMF
+    pmf = np.full(basis.n_buckets, 1.0 / basis.n_buckets)
+    assert abs(basis.expand(pmf).sum() - 1.0) < 1e-9

@@ -1,0 +1,169 @@
+"""Tests for the continuous-time Hawkes baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import DiscreteEvents
+from repro.core.hawkes.continuous import (
+    ContinuousHawkesParams,
+    EventList,
+    continuous_log_likelihood,
+    discrete_events_to_continuous,
+    fit_continuous_em,
+    simulate_continuous,
+)
+
+
+def make_params(background=(0.002, 0.001),
+                weights=((0.3, 0.1), (0.05, 0.25)),
+                decay=1.0 / 300):
+    return ContinuousHawkesParams(
+        background=np.asarray(background, dtype=float),
+        weights=np.asarray(weights, dtype=float),
+        decay=decay,
+    )
+
+
+class TestParams:
+    def test_valid(self):
+        params = make_params()
+        assert params.n_processes == 2
+        assert params.spectral_radius() < 1
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            make_params(decay=-1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            make_params(weights=((-0.1, 0), (0, 0)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousHawkesParams(background=np.ones(2),
+                                   weights=np.ones((3, 3)), decay=1.0)
+
+
+class TestEventList:
+    def test_from_pairs_sorts(self):
+        events = EventList.from_pairs([(5.0, 1), (1.0, 0)], horizon=10,
+                                      n_processes=2)
+        assert list(events.times) == [1.0, 5.0]
+        assert list(events.counts_per_process()) == [1, 1]
+
+    def test_out_of_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            EventList.from_pairs([(11.0, 0)], horizon=10, n_processes=1)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            EventList(times=np.array([5.0, 1.0]),
+                      processes=np.array([0, 0]),
+                      horizon=10, n_processes=1)
+
+
+class TestSimulation:
+    def test_poisson_limit(self, rng):
+        params = make_params(weights=((0.0, 0.0), (0.0, 0.0)))
+        horizon = 100_000.0
+        events = simulate_continuous(params, horizon, rng)
+        counts = events.counts_per_process()
+        assert counts[0] == pytest.approx(0.002 * horizon, rel=0.2)
+        assert counts[1] == pytest.approx(0.001 * horizon, rel=0.3)
+
+    def test_branching_amplification(self, rng):
+        quiet = make_params(weights=((0.0, 0.0), (0.0, 0.0)))
+        loud = make_params(weights=((0.6, 0.0), (0.0, 0.6)))
+        horizon = 50_000.0
+        n_quiet = len(simulate_continuous(quiet, horizon, rng))
+        n_loud = len(simulate_continuous(loud, horizon, rng))
+        assert n_loud > 1.5 * n_quiet
+
+    def test_events_in_horizon(self, rng):
+        events = simulate_continuous(make_params(), 10_000.0, rng)
+        if len(events):
+            assert events.times.max() < 10_000.0
+            assert events.times.min() >= 0.0
+
+
+class TestLikelihood:
+    def test_poisson_matches_closed_form(self):
+        # Pure Poisson: LL = sum log(mu) - mu*T
+        params = make_params(background=(0.01,), weights=((0.0,),),
+                             decay=0.01)
+        events = EventList.from_pairs([(10.0, 0), (20.0, 0)],
+                                      horizon=100, n_processes=1)
+        expected = 2 * np.log(0.01) - 0.01 * 100
+        assert continuous_log_likelihood(params, events) == \
+            pytest.approx(expected)
+
+    def test_excitation_raises_likelihood_of_clustered_data(self, rng):
+        truth = make_params(background=(0.001,), weights=((0.6,),),
+                            decay=1 / 100)
+        events = simulate_continuous(truth, 200_000.0, rng)
+        null = make_params(
+            background=(len(events) / 200_000.0,),
+            weights=((0.0,),), decay=1 / 100)
+        assert (continuous_log_likelihood(truth, events)
+                > continuous_log_likelihood(null, events))
+
+    def test_zero_rate_is_minus_inf(self):
+        params = make_params(background=(0.0,), weights=((0.0,),),
+                             decay=1.0)
+        events = EventList.from_pairs([(1.0, 0)], horizon=10,
+                                      n_processes=1)
+        assert continuous_log_likelihood(params, events) == -np.inf
+
+
+class TestEmFit:
+    @pytest.fixture(scope="class")
+    def simulated(self):
+        truth = make_params(background=(0.004, 0.002),
+                            weights=((0.35, 0.15), (0.05, 0.3)),
+                            decay=1 / 200)
+        rng = np.random.default_rng(7)
+        events = simulate_continuous(truth, 300_000.0, rng)
+        return truth, events
+
+    def test_recovers_background(self, simulated):
+        truth, events = simulated
+        fit = fit_continuous_em(events, decay=truth.decay)
+        assert np.allclose(fit.params.background, truth.background,
+                           rtol=0.5, atol=0.002)
+
+    def test_recovers_diagonal_weights(self, simulated):
+        truth, events = simulated
+        fit = fit_continuous_em(events, decay=truth.decay)
+        for k in range(2):
+            assert fit.params.weights[k, k] == pytest.approx(
+                truth.weights[k, k], rel=0.4)
+
+    def test_estimate_decay(self, simulated):
+        truth, events = simulated
+        fit = fit_continuous_em(events, decay=1 / 500,
+                                estimate_decay=True,
+                                max_iterations=60)
+        assert fit.params.decay == pytest.approx(truth.decay, rel=0.6)
+
+    def test_likelihood_finite(self, simulated):
+        truth, events = simulated
+        fit = fit_continuous_em(events, decay=truth.decay)
+        assert np.isfinite(fit.log_likelihood)
+
+
+class TestDiscreteConversion:
+    def test_conversion_preserves_counts(self, rng):
+        events = DiscreteEvents.from_pairs(
+            [(0, 0), (0, 0), (5, 1), (99, 0)], n_bins=100, n_processes=2)
+        continuous = discrete_events_to_continuous(events, delta_t=60,
+                                                   rng=rng)
+        assert len(continuous) == 4
+        assert continuous.horizon == 6000
+        assert list(continuous.counts_per_process()) == [3, 1]
+
+    def test_times_inside_bins(self, rng):
+        events = DiscreteEvents.from_pairs([(5, 0)], n_bins=10,
+                                           n_processes=1)
+        continuous = discrete_events_to_continuous(events, delta_t=60,
+                                                   rng=rng)
+        assert 300 <= continuous.times[0] < 360

@@ -1,0 +1,111 @@
+"""Tests for article generation and URL classification."""
+
+import pytest
+
+from repro.news.articles import Article, ArticleGenerator
+from repro.news.classify import classify_url, extract_news_urls
+from repro.news.domains import NewsCategory
+
+
+class TestArticleGenerator:
+    def test_generates_requested_category(self, registry):
+        generator = ArticleGenerator(registry, seed=1)
+        article = generator.generate(NewsCategory.ALTERNATIVE, 1000)
+        assert article.category == NewsCategory.ALTERNATIVE
+        assert article.is_alternative
+
+    def test_url_is_canonical_and_classifiable(self, registry):
+        generator = ArticleGenerator(registry, seed=2)
+        article = generator.generate(NewsCategory.MAINSTREAM, 1000)
+        classified = classify_url(article.url, registry)
+        assert classified is not None
+        assert classified.url == article.url
+        assert classified.domain == article.domain
+
+    def test_urls_unique_across_batch(self, registry):
+        generator = ArticleGenerator(registry, seed=3)
+        articles = generator.generate_batch(
+            NewsCategory.MAINSTREAM, list(range(200)))
+        urls = {a.url for a in articles}
+        assert len(urls) == 200
+
+    def test_deterministic_for_seed(self, registry):
+        a = ArticleGenerator(registry, seed=9).generate(
+            NewsCategory.ALTERNATIVE, 5)
+        b = ArticleGenerator(registry, seed=9).generate(
+            NewsCategory.ALTERNATIVE, 5)
+        assert a.url == b.url
+        assert a.headline == b.headline
+
+    def test_domain_weights_respected(self, registry):
+        generator = ArticleGenerator(registry, seed=4)
+        weights = {"breitbart.com": 1.0}
+        articles = generator.generate_batch(
+            NewsCategory.ALTERNATIVE, list(range(50)),
+            domain_weights=weights)
+        assert {a.domain for a in articles} == {"breitbart.com"}
+
+    def test_explicit_domain(self, registry):
+        generator = ArticleGenerator(registry, seed=5)
+        domain = registry.lookup("cnn.com")
+        article = generator.generate(NewsCategory.MAINSTREAM, 10,
+                                     domain=domain)
+        assert article.domain == "cnn.com"
+
+    def test_category_domain_mismatch_raises(self, registry):
+        generator = ArticleGenerator(registry, seed=6)
+        domain = registry.lookup("cnn.com")
+        with pytest.raises(ValueError):
+            generator.generate(NewsCategory.ALTERNATIVE, 10, domain=domain)
+
+    def test_headline_nonempty(self, registry):
+        generator = ArticleGenerator(registry, seed=7)
+        article = generator.generate(NewsCategory.MAINSTREAM, 10)
+        assert article.headline
+        assert article.headline == article.headline.strip()
+
+
+class TestClassifyUrl:
+    def test_mainstream(self, registry):
+        result = classify_url("http://www.cnn.com/2016/story", registry)
+        assert result is not None
+        assert result.category == NewsCategory.MAINSTREAM
+        assert not result.is_alternative
+
+    def test_alternative(self, registry):
+        result = classify_url("https://infowars.com/x", registry)
+        assert result is not None
+        assert result.is_alternative
+
+    def test_non_news_is_none(self, registry):
+        assert classify_url("http://example.com/a", registry) is None
+
+    def test_result_url_is_canonical(self, registry):
+        result = classify_url("https://www.cnn.com/a/", registry)
+        assert result.url == "http://cnn.com/a"
+
+    def test_empty_host(self, registry):
+        assert classify_url("http:///path-only", registry) is None
+
+
+class TestExtractNewsUrls:
+    def test_filters_non_news(self, registry):
+        text = "see http://cnn.com/a and http://example.com/b"
+        found = extract_news_urls(text, registry)
+        assert [u.domain for u in found] == ["cnn.com"]
+
+    def test_deduplicates_same_canonical_url(self, registry):
+        text = "http://cnn.com/a and https://www.cnn.com/a/"
+        found = extract_news_urls(text, registry)
+        assert len(found) == 1
+
+    def test_keeps_distinct_urls(self, registry):
+        text = "http://cnn.com/a http://cnn.com/b http://rt.com/c"
+        found = extract_news_urls(text, registry)
+        assert len(found) == 3
+        categories = {u.category for u in found}
+        assert categories == {NewsCategory.MAINSTREAM,
+                              NewsCategory.ALTERNATIVE}
+
+    def test_empty_text(self, registry):
+        assert extract_news_urls("", registry) == []

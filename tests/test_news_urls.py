@@ -1,0 +1,140 @@
+"""Tests for URL extraction and canonicalization (incl. property tests)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.news.urls import canonicalize_url, extract_urls, registered_domain
+
+
+class TestExtractUrls:
+    def test_single_url(self):
+        urls = extract_urls("check this http://breitbart.com/news/a-1 out")
+        assert urls == ["http://breitbart.com/news/a-1"]
+
+    def test_https(self):
+        assert extract_urls("https://cnn.com/x") == ["https://cnn.com/x"]
+
+    def test_multiple_urls_in_order(self):
+        text = "a http://a.com/1 b http://b.com/2"
+        assert extract_urls(text) == ["http://a.com/1", "http://b.com/2"]
+
+    def test_no_urls(self):
+        assert extract_urls("no links here") == []
+
+    def test_trailing_punctuation_stripped(self):
+        assert extract_urls("see http://cnn.com/story.") == ["http://cnn.com/story"]
+        assert extract_urls("see http://cnn.com/story, then")[0] == "http://cnn.com/story"
+
+    def test_parenthesized_url(self):
+        urls = extract_urls("(see http://cnn.com/story)")
+        assert urls == ["http://cnn.com/story"]
+
+    def test_url_with_query(self):
+        urls = extract_urls("http://x.com/a?b=1&c=2 tail")
+        assert urls == ["http://x.com/a?b=1&c=2"]
+
+    def test_bare_domain_without_scheme_ignored(self):
+        assert extract_urls("visit cnn.com today") == []
+
+    def test_newline_terminates_url(self):
+        urls = extract_urls("http://a.com/x\nhttp://b.com/y")
+        assert urls == ["http://a.com/x", "http://b.com/y"]
+
+
+class TestCanonicalize:
+    def test_https_collapsed_to_http(self):
+        assert canonicalize_url("https://cnn.com/a") == "http://cnn.com/a"
+
+    def test_www_stripped(self):
+        assert canonicalize_url("http://www.cnn.com/a") == "http://cnn.com/a"
+
+    def test_mobile_subdomain_stripped(self):
+        assert canonicalize_url("http://m.cnn.com/a") == "http://cnn.com/a"
+
+    def test_host_lowercased(self):
+        assert canonicalize_url("http://CNN.com/A") == "http://cnn.com/A"
+
+    def test_path_case_preserved(self):
+        assert canonicalize_url("http://cnn.com/Story") == "http://cnn.com/Story"
+
+    def test_trailing_slash_removed(self):
+        assert canonicalize_url("http://cnn.com/a/") == "http://cnn.com/a"
+
+    def test_root_slash_kept(self):
+        assert canonicalize_url("http://cnn.com/") == "http://cnn.com/"
+        assert canonicalize_url("http://cnn.com") == "http://cnn.com/"
+
+    def test_fragment_removed(self):
+        assert canonicalize_url("http://cnn.com/a#frag") == "http://cnn.com/a"
+
+    def test_tracker_params_removed(self):
+        url = "http://cnn.com/a?utm_source=tw&utm_medium=social&id=3"
+        assert canonicalize_url(url) == "http://cnn.com/a?id=3"
+
+    def test_query_params_sorted(self):
+        assert (canonicalize_url("http://x.com/a?b=2&a=1")
+                == canonicalize_url("http://x.com/a?a=1&b=2"))
+
+    def test_default_ports_stripped(self):
+        assert canonicalize_url("http://cnn.com:80/a") == "http://cnn.com/a"
+        assert canonicalize_url("https://cnn.com:443/a") == "http://cnn.com/a"
+
+    def test_duplicate_slashes_collapsed(self):
+        assert canonicalize_url("http://cnn.com//a///b") == "http://cnn.com/a/b"
+
+    def test_equivalent_variants_collide(self):
+        variants = [
+            "https://www.breitbart.com/news/story-1/",
+            "http://breitbart.com/news/story-1",
+            "HTTP://BREITBART.COM/news/story-1#x",
+            "http://m.breitbart.com/news/story-1?utm_campaign=x",
+        ]
+        canonical = {canonicalize_url(v) for v in variants}
+        assert canonical == {"http://breitbart.com/news/story-1"}
+
+
+class TestRegisteredDomain:
+    def test_basic(self):
+        assert registered_domain("http://cnn.com/a") == "cnn.com"
+
+    def test_strips_www(self):
+        assert registered_domain("http://www.cnn.com/a") == "cnn.com"
+
+    def test_keeps_real_subdomain(self):
+        assert registered_domain("http://abcnews.go.com/a") == "abcnews.go.com"
+
+    def test_strips_port(self):
+        assert registered_domain("http://cnn.com:8080/a") == "cnn.com"
+
+
+# -- property-based -----------------------------------------------------------
+
+_path_chars = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-/._"),
+    max_size=30)
+_hosts = st.sampled_from([
+    "cnn.com", "www.cnn.com", "breitbart.com", "m.infowars.com",
+    "abcnews.go.com", "example.org", "a.b.c.example.net",
+])
+
+
+@given(host=_hosts, path=_path_chars,
+       scheme=st.sampled_from(["http", "https"]))
+def test_canonicalize_idempotent(host, path, scheme):
+    url = f"{scheme}://{host}/{path}"
+    once = canonicalize_url(url)
+    assert canonicalize_url(once) == once
+
+
+@given(host=_hosts, path=_path_chars)
+def test_canonical_url_always_http_lower_host(host, path):
+    canonical = canonicalize_url(f"https://{host}/{path}")
+    assert canonical.startswith("http://")
+    authority = canonical.split("//", 1)[1].split("/", 1)[0]
+    assert authority == authority.lower()
+
+
+@given(text=st.text(max_size=200))
+def test_extract_urls_never_crashes(text):
+    for url in extract_urls(text):
+        assert url.lower().startswith("http")

@@ -1,0 +1,76 @@
+"""Tests for table rendering and CSV figure export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Ecdf
+from repro.reporting.figures import ecdf_series, write_series
+from repro.reporting.tables import render_matrix_cells, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "count"],
+                            [["alpha", 10], ["b", 20000]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in text
+        assert "20,000" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.12345], [1234.5], [12.345]])
+        assert "0.1235" in text  # 4 significant digits (rounded)
+        assert "1,234" in text
+        assert "12.3" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderMatrix:
+    def test_cells_rendered(self):
+        cells = [[["A: 1", "M: 2"] for _ in range(2)] for _ in range(2)]
+        text = render_matrix_cells(["p1", "p2"], cells, title="Fig 10")
+        assert "Fig 10" in text
+        assert "A: 1" in text
+        assert text.count("M: 2") == 4
+
+    def test_row_labels_present(self):
+        cells = [[["x"] for _ in range(2)] for _ in range(2)]
+        text = render_matrix_cells(["The_Donald", "Twitter"], cells)
+        assert "The_Donald" in text
+        assert "Twitter" in text
+
+
+class TestFigureSeries:
+    def test_ecdf_series_log(self):
+        ecdf = Ecdf([1, 10, 100])
+        xs, ys = ecdf_series(ecdf, n_points=16)
+        assert len(xs) == 16
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_ecdf_series_steps(self):
+        ecdf = Ecdf([1, 2, 2, 3])
+        xs, ys = ecdf_series(ecdf, log_grid=False)
+        assert list(xs) == [1, 2, 3]
+
+    def test_write_series(self, tmp_path):
+        path = write_series(tmp_path / "fig" / "out.csv",
+                            {"x": [1, 2, 3], "y": [0.1, 0.2]})
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "0.1"]
+        assert rows[3] == ["3", ""]  # ragged column padded
+
+    def test_write_series_empty(self, tmp_path):
+        path = write_series(tmp_path / "empty.csv", {"a": []})
+        content = path.read_text().strip()
+        assert content == "a"

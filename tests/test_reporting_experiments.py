@@ -1,0 +1,54 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.paper import EXPERIMENTS
+from repro.reporting.experiments import (
+    generate_markdown,
+    render_experiment,
+    write_experiments_md,
+)
+
+
+class TestRenderExperiment:
+    def test_with_artifact(self, tmp_path):
+        experiment = EXPERIMENTS[0]
+        (tmp_path / experiment.artifact).write_text("MEASURED CONTENT")
+        text = render_experiment(experiment, tmp_path)
+        assert experiment.exp_id in text
+        assert "MEASURED CONTENT" in text
+        assert "```" in text
+
+    def test_without_artifact(self, tmp_path):
+        experiment = EXPERIMENTS[0]
+        text = render_experiment(experiment, tmp_path)
+        assert "not generated yet" in text
+
+    def test_paper_values_listed(self, tmp_path):
+        experiment = EXPERIMENTS[0]
+        text = render_experiment(experiment, tmp_path)
+        for value in experiment.paper_values:
+            assert value in text
+
+
+class TestGenerateMarkdown:
+    def test_index_contains_all(self, tmp_path):
+        text = generate_markdown(tmp_path)
+        for experiment in EXPERIMENTS:
+            assert experiment.exp_id in text
+
+    def test_write(self, tmp_path):
+        out = tmp_path / "EXP.md"
+        path = write_experiments_md(out, tmp_path)
+        assert path == out
+        assert out.read_text().startswith("# EXPERIMENTS")
+
+    def test_uses_real_results_when_present(self):
+        results = Path("results")
+        if not results.exists():
+            pytest.skip("results/ not generated")
+        text = generate_markdown(results)
+        # at least some artifacts should be embedded
+        assert text.count("```") >= 4

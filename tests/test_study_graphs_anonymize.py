@@ -1,0 +1,132 @@
+"""Tests for the study report, graph exports, and anonymization."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import graphs
+from repro.collection.anonymize import (
+    AnonymizationKey,
+    anonymize_dataset,
+    anonymize_record,
+)
+from repro.collection.store import Dataset, DatasetRecord, UrlOccurrence
+from repro.config import PLATFORM_POL, PLATFORM_REDDIT, PLATFORM_TWITTER
+from repro.news.domains import NewsCategory
+from repro.reporting.study import generate_study_report, write_study_report
+
+PLATFORMS = (PLATFORM_POL, PLATFORM_REDDIT, PLATFORM_TWITTER)
+
+
+class TestStudyReport:
+    @pytest.fixture(scope="class")
+    def report(self, collected):
+        return generate_study_report(collected, include_influence=True,
+                                     max_urls=10, seed=1)
+
+    def test_contains_all_sections(self, report):
+        for heading in ("Dataset overview", "Top domains",
+                        "Per-user behavior", "Temporal dynamics",
+                        "Appearance sequences", "Influence estimation"):
+            assert heading in report
+
+    def test_mentions_key_entities(self, report):
+        assert "breitbart.com" in report
+        assert "Twitter" in report
+        assert "W(Twitter→Twitter)" in report
+
+    def test_write_to_disk(self, collected, tmp_path):
+        path = write_study_report(collected, tmp_path / "report.md",
+                                  include_influence=False)
+        content = path.read_text()
+        assert content.startswith("# Web Centipede study report")
+        assert "Influence estimation" not in content
+
+    def test_skip_influence_flag(self, collected):
+        report = generate_study_report(collected,
+                                       include_influence=False)
+        assert "Influence estimation" not in report
+
+
+class TestGraphExports:
+    @pytest.fixture(scope="class")
+    def graph(self, collected):
+        return graphs.build_ecosystem_graph(
+            collected.sequence_slices(), NewsCategory.MAINSTREAM,
+            collected.url_domains())
+
+    def test_graphml_round_trip(self, graph, tmp_path):
+        path = tmp_path / "eco.graphml"
+        graphs.export_graphml(graph, path)
+        loaded = nx.read_graphml(path)
+        assert loaded.number_of_nodes() == graph.number_of_nodes()
+        assert loaded.number_of_edges() == graph.number_of_edges()
+
+    def test_platform_centrality(self, graph):
+        summary = graphs.platform_centrality(graph, PLATFORMS)
+        assert set(summary) <= set(PLATFORMS)
+        for stats in summary.values():
+            assert stats["in_strength"] >= 0
+            assert 0 <= stats["pagerank"] <= 1
+        # platforms receive URLs from domains, so in-strength dominates
+        total_in = sum(s["in_strength"] for s in summary.values())
+        total_out = sum(s["out_strength"] for s in summary.values())
+        assert total_in >= total_out
+
+    def test_centrality_missing_platform(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b", weight=1)
+        summary = graphs.platform_centrality(graph, ("Twitter",))
+        assert summary == {}
+
+
+def record(author, post_id="p1"):
+    return DatasetRecord(
+        post_id=post_id, platform="twitter", community="Twitter",
+        author_id=author, created_at=1.0,
+        urls=(UrlOccurrence("http://rt.com/a", "rt.com",
+                            NewsCategory.ALTERNATIVE),))
+
+
+class TestAnonymization:
+    def test_pseudonym_stable_under_key(self):
+        key = AnonymizationKey.from_passphrase("s3cret")
+        assert key.pseudonym("alice") == key.pseudonym("alice")
+        assert key.pseudonym("alice") != key.pseudonym("bob")
+
+    def test_different_keys_unlinkable(self):
+        a = AnonymizationKey.from_passphrase("one")
+        b = AnonymizationKey.from_passphrase("two")
+        assert a.pseudonym("alice") != b.pseudonym("alice")
+
+    def test_anonymous_record_unchanged(self):
+        anonymous = DatasetRecord(
+            post_id="x", platform="4chan", community="/pol/",
+            author_id=None, created_at=0.0, urls=())
+        key = AnonymizationKey.generate()
+        assert anonymize_record(anonymous, key) is anonymous
+
+    def test_dataset_groupings_preserved(self):
+        dataset = Dataset([record("alice", "p1"), record("alice", "p2"),
+                           record("bob", "p3")])
+        anonymized, key = anonymize_dataset(dataset)
+        groups = anonymized.by_author()
+        assert len(groups) == 2
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 2]
+        # original ids no longer present
+        assert "alice" not in groups
+        # but recomputable with the key
+        assert key.pseudonym("alice") in groups
+
+    def test_everything_else_untouched(self):
+        dataset = Dataset([record("alice")])
+        anonymized, _ = anonymize_dataset(dataset)
+        original = dataset.records[0]
+        cloned = anonymized.records[0]
+        assert cloned.post_id == original.post_id
+        assert cloned.urls == original.urls
+        assert cloned.created_at == original.created_at
+
+    def test_generated_keys_differ(self):
+        assert (AnonymizationKey.generate().key
+                != AnonymizationKey.generate().key)

@@ -1,0 +1,120 @@
+"""Tests for the paper-calibrated ground truth parameters."""
+
+import numpy as np
+import pytest
+
+from repro.config import HAWKES_PROCESSES
+from repro.synthesis.params import (
+    GroundTruth,
+    PAPER_BACKGROUND_ALTERNATIVE,
+    PAPER_BACKGROUND_MAINSTREAM,
+    PAPER_WEIGHTS_ALTERNATIVE,
+    PAPER_WEIGHTS_MAINSTREAM,
+    default_ground_truth,
+)
+
+
+class TestPaperMatrices:
+    """Consistency of the Fig. 10 transcription with the paper's prose."""
+
+    def test_twitter_self_excitation_values(self):
+        t = HAWKES_PROCESSES.index("Twitter")
+        assert PAPER_WEIGHTS_ALTERNATIVE[t, t] == pytest.approx(0.1554)
+        assert PAPER_WEIGHTS_MAINSTREAM[t, t] == pytest.approx(0.1096)
+
+    def test_twitter_self_excitation_is_global_max(self):
+        assert PAPER_WEIGHTS_ALTERNATIVE.max() == pytest.approx(0.1554)
+        assert PAPER_WEIGHTS_MAINSTREAM.max() == pytest.approx(0.1096)
+
+    def test_the_donald_inputs_all_alt_dominant(self):
+        """The paper: The_Donald is the only community whose *inputs* are
+        all stronger for alternative URLs."""
+        td = HAWKES_PROCESSES.index("The_Donald")
+        assert np.all(PAPER_WEIGHTS_ALTERNATIVE[:, td]
+                      > PAPER_WEIGHTS_MAINSTREAM[:, td])
+
+    def test_twitter_outputs_mainstream_dominant_except_the_donald(self):
+        t = HAWKES_PROCESSES.index("Twitter")
+        td = HAWKES_PROCESSES.index("The_Donald")
+        for j in range(8):
+            alt = PAPER_WEIGHTS_ALTERNATIVE[t, j]
+            main = PAPER_WEIGHTS_MAINSTREAM[t, j]
+            if j in (t, td):
+                assert alt > main
+            else:
+                assert main > alt
+
+    def test_pol_self_excitation(self):
+        pol = HAWKES_PROCESSES.index("/pol/")
+        assert PAPER_WEIGHTS_ALTERNATIVE[pol, pol] == pytest.approx(0.0761)
+        assert PAPER_WEIGHTS_MAINSTREAM[pol, pol] == pytest.approx(0.0734)
+
+    def test_diagonals_prominent(self):
+        # Self-excitation should be the max of its row for most processes.
+        for weights in (PAPER_WEIGHTS_ALTERNATIVE, PAPER_WEIGHTS_MAINSTREAM):
+            dominant = sum(
+                weights[i, i] == weights[i].max() for i in range(8))
+            assert dominant >= 5
+
+    def test_matrices_subcritical(self):
+        for weights in (PAPER_WEIGHTS_ALTERNATIVE, PAPER_WEIGHTS_MAINSTREAM):
+            radius = np.max(np.abs(np.linalg.eigvals(weights)))
+            assert radius < 1.0
+
+    def test_background_rates_twitter_highest(self):
+        assert PAPER_BACKGROUND_ALTERNATIVE.argmax() == 7
+        assert PAPER_BACKGROUND_MAINSTREAM.argmax() == 7
+
+    def test_the_donald_alt_background_exceeds_main(self):
+        # Section 5.3: The_Donald has a higher background rate for
+        # alternative than mainstream URLs.
+        td = HAWKES_PROCESSES.index("The_Donald")
+        assert (PAPER_BACKGROUND_ALTERNATIVE[td]
+                > PAPER_BACKGROUND_MAINSTREAM[td])
+
+
+class TestGroundTruth:
+    def test_extended_dimensions(self):
+        truth = default_ground_truth()
+        k = len(truth.processes)
+        assert k == 10
+        assert truth.weights_alternative.shape == (k, k)
+        assert truth.background_mainstream.shape == (k,)
+
+    def test_core_block_preserved(self):
+        truth = default_ground_truth()
+        assert np.allclose(truth.weights_alternative[:8, :8],
+                           PAPER_WEIGHTS_ALTERNATIVE)
+        assert np.allclose(truth.background_alternative[:8],
+                           PAPER_BACKGROUND_ALTERNATIVE)
+
+    def test_extended_matrix_still_subcritical(self):
+        truth = default_ground_truth()
+        for alternative in (True, False):
+            weights = truth.weights(alternative)
+            radius = np.max(np.abs(np.linalg.eigvals(weights)))
+            assert radius < 1.0
+
+    def test_impulse_is_pmf(self):
+        truth = default_ground_truth()
+        impulse = truth.impulse()
+        assert impulse.shape[2] == truth.max_lag_minutes
+        assert np.allclose(impulse.sum(axis=2), 1.0)
+
+    def test_impulse_decays(self):
+        truth = default_ground_truth()
+        impulse = truth.impulse()[0, 0]
+        assert impulse[0] > impulse[59] > impulse[-1]
+
+    def test_category_accessors(self):
+        truth = default_ground_truth()
+        assert truth.weights(True) is truth.weights_alternative
+        assert truth.background(False) is truth.background_mainstream
+
+    def test_local_home_probs_normalized(self):
+        truth = default_ground_truth()
+        assert sum(truth.local_home_probs) == pytest.approx(1.0)
+
+    def test_custom_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            GroundTruth(weights_alternative=np.ones((3, 3)))

@@ -1,0 +1,119 @@
+"""Tests for the world generator (uses the session-scoped small world)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SELECTED_SUBREDDITS, STUDY_END, STUDY_START
+from repro.news.classify import extract_news_urls
+from repro.news.domains import NewsCategory
+from repro.synthesis.world import WorldConfig, build_world
+
+
+class TestWorldStructure:
+    def test_platforms_populated(self, small_world):
+        assert len(small_world.twitter.tweets) > 100
+        assert len(small_world.reddit.posts) > 100
+        assert small_world.fourchan.total_posts > 50
+
+    def test_six_subreddits_exist(self, small_world):
+        for name in SELECTED_SUBREDDITS:
+            assert name in small_world.reddit.subreddits
+
+    def test_boards_exist(self, small_world):
+        for board in ("pol", "sp", "int", "sci"):
+            assert board in small_world.fourchan.boards
+
+    def test_cascade_count_near_config(self, small_world):
+        expected = (small_world.config.n_stories_alternative
+                    + small_world.config.n_stories_mainstream)
+        assert len(small_world.cascades) == pytest.approx(expected, rel=0.15)
+
+    def test_both_categories_present(self, small_world):
+        categories = {c.article.category for c in small_world.cascades}
+        assert categories == {NewsCategory.ALTERNATIVE,
+                              NewsCategory.MAINSTREAM}
+
+    def test_ambient_traffic_recorded(self, small_world):
+        assert small_world.twitter.unmaterialized_posts > 0
+        assert small_world.reddit.unmaterialized_posts > 0
+        assert small_world.fourchan.unmaterialized_posts > 0
+
+    def test_ambient_ratio_matches_config(self, small_world):
+        config = small_world.config
+        ratio = (small_world.twitter.unmaterialized_posts
+                 / len(small_world.twitter.tweets))
+        assert ratio == pytest.approx(config.ambient_twitter, rel=0.01)
+
+
+class TestMaterializedContent:
+    def test_tweets_carry_extractable_news_urls(self, small_world):
+        with_urls = 0
+        for tweet in list(small_world.twitter.tweets.values())[:200]:
+            if extract_news_urls(tweet.text, small_world.registry):
+                with_urls += 1
+        assert with_urls > 150  # nearly all tweets embed their URL
+
+    def test_tweet_timestamps_inside_study(self, small_world):
+        for tweet in small_world.twitter.tweets.values():
+            assert STUDY_START <= tweet.created_at < STUDY_END
+
+    def test_retweets_exist(self, small_world):
+        retweets = [t for t in small_world.twitter.tweets.values()
+                    if t.is_retweet]
+        assert retweets
+
+    def test_some_tweets_unavailable_after_finalize(self, small_world):
+        gone = sum(
+            1 for t in small_world.twitter.tweets.values()
+            if small_world.twitter.fetch_tweet(t.tweet_id) is None)
+        assert gone > 0
+
+    def test_reddit_has_posts_and_comments(self, small_world):
+        assert small_world.reddit.posts
+        assert small_world.reddit.comments
+
+    def test_reddit_comments_carry_urls(self, small_world):
+        sample = list(small_world.reddit.comments.values())[:100]
+        assert any(extract_news_urls(c.body, small_world.registry)
+                   for c in sample)
+
+    def test_pol_threads_have_url_posts(self, small_world):
+        pol_threads = [t for t in small_world.fourchan.threads.values()
+                       if t.board == "pol"]
+        assert pol_threads
+        assert any(
+            extract_news_urls(p.text, small_world.registry)
+            for t in pol_threads for p in t.posts)
+
+    def test_bot_users_registered(self, small_world):
+        bots = [u for u in small_world.twitter.users.values() if u.is_bot]
+        assert bots
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = WorldConfig(seed=5, n_stories_alternative=40,
+                             n_stories_mainstream=80, n_twitter_users=50,
+                             n_reddit_users=50, n_generic_subreddits=10)
+        a = build_world(config)
+        b = build_world(config)
+        assert len(a.cascades) == len(b.cascades)
+        assert len(a.twitter.tweets) == len(b.twitter.tweets)
+        assert a.cascades[0].url == b.cascades[0].url
+
+    def test_different_seed_different_world(self):
+        base = dict(n_stories_alternative=40, n_stories_mainstream=80,
+                    n_twitter_users=50, n_reddit_users=50,
+                    n_generic_subreddits=10)
+        a = build_world(WorldConfig(seed=5, **base))
+        b = build_world(WorldConfig(seed=6, **base))
+        assert a.cascades[0].url != b.cascades[0].url
+
+
+class TestDomainPlatformCorrelation:
+    def test_alt_domains_dominated_by_breitbart(self, small_world):
+        """Tables 5-7: breitbart.com should dominate alternative URLs."""
+        alt = [c for c in small_world.cascades
+               if c.article.is_alternative]
+        breitbart = sum(c.article.domain == "breitbart.com" for c in alt)
+        assert breitbart / len(alt) > 0.3

@@ -1,0 +1,126 @@
+"""Tests for the validation checklist and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import HawkesConfig
+from repro.core import fit_corpus, select_urls
+from repro.paper import EXPERIMENTS, by_id
+from repro.validation import (
+    ShapeCheck,
+    summarize_checks,
+    validate_collected,
+    validate_influence,
+)
+
+
+class TestPaperRegistry:
+    def test_all_experiments_present(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        for n in range(1, 12):
+            assert f"Table {n}" in ids
+        for n in range(1, 12):
+            assert f"Figure {n}" in ids
+
+    def test_by_id(self):
+        experiment = by_id("table 4")
+        assert experiment.exp_id == "Table 4"
+
+    def test_by_id_unknown(self):
+        with pytest.raises(KeyError):
+            by_id("Table 99")
+
+    def test_every_experiment_has_bench_and_artifact(self):
+        for experiment in EXPERIMENTS:
+            assert experiment.bench.startswith("benchmarks/bench_")
+            assert experiment.artifact
+            assert experiment.paper_values
+            assert experiment.shape_checks
+
+
+class TestValidation:
+    def test_collected_checks_run(self, collected):
+        checks = validate_collected(collected)
+        assert len(checks) >= 8
+        # the small world should reproduce most claims
+        passed = sum(c.passed for c in checks)
+        assert passed >= len(checks) - 2
+
+    def test_influence_checks_run(self, cascades):
+        corpus = select_urls(cascades)[:16]
+        result = fit_corpus(
+            corpus, HawkesConfig(gibbs_iterations=20, gibbs_burn_in=6),
+            rng=np.random.default_rng(0))
+        checks = validate_influence(result)
+        assert len(checks) >= 5
+        for check in checks:
+            assert isinstance(check, ShapeCheck)
+            assert check.detail
+
+    def test_checks_never_crash(self):
+        """A degenerate dataset yields failing checks, not exceptions."""
+        from repro.collection.store import Dataset
+        from repro.collection.recrawl import CategoryRecrawl, RecrawlStats
+
+        class Empty:
+            twitter = Dataset()
+            reddit = Dataset()
+            fourchan = Dataset()
+            reddit_six = Dataset()
+            reddit_other = Dataset()
+            pol = Dataset()
+            recrawl = RecrawlStats(alternative=CategoryRecrawl(),
+                                   mainstream=CategoryRecrawl())
+
+            def sequence_slices(self):
+                return {"/pol/": Dataset(), "Reddit": Dataset(),
+                        "Twitter": Dataset()}
+
+        checks = validate_collected(Empty())
+        assert all(isinstance(c, ShapeCheck) for c in checks)
+
+    def test_summary_format(self):
+        checks = [ShapeCheck("a claim", "Table 1", True, "ok"),
+                  ShapeCheck("another", "Figure 2", False, "nope")]
+        text = summarize_checks(checks)
+        assert "1/2 claims reproduced" in text
+        assert "[PASS]" in text
+        assert "[FAIL]" in text
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.command == "list"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Figure 10" in out
+
+    def test_world_command(self, tmp_path, capsys):
+        code = main(["world", "--seed", "3", "--stories-alt", "30",
+                     "--stories-main", "60", "--twitter-users", "50",
+                     "--reddit-users", "50", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "twitter.jsonl").exists()
+        assert (tmp_path / "reddit.jsonl").exists()
+        assert (tmp_path / "fourchan.jsonl").exists()
+        from repro.collection.store import Dataset
+        loaded = Dataset.load_jsonl(tmp_path / "twitter.jsonl")
+        assert len(loaded) > 0
+
+    def test_experiments_command(self, tmp_path, capsys):
+        out_md = tmp_path / "EXP.md"
+        code = main(["experiments", "--out", str(out_md),
+                     "--results", "results"])
+        assert code == 0
+        content = out_md.read_text()
+        assert "Table 11" in content
+        assert "paper vs. measured" in content
+
+    def test_reproduce_unknown(self, capsys):
+        assert main(["reproduce", "Table 99"]) == 2
