@@ -16,7 +16,7 @@ Quickstart::
     cascades = influence_cascades(data)
 """
 
-from . import analysis, collection, config, core, news, platforms, synthesis
+from . import analysis, collection, config, core, live, news, platforms, synthesis
 from .pipeline import (
     CollectedData,
     collect,
@@ -24,13 +24,14 @@ from .pipeline import (
     influence_cascades,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "collection",
     "config",
     "core",
+    "live",
     "news",
     "platforms",
     "synthesis",

@@ -10,15 +10,38 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..collection.store import Dataset, DatasetRecord
-from ..config import SELECTED_SUBREDDITS
+from ..config import (
+    PLATFORM_POL,
+    PLATFORM_REDDIT,
+    PLATFORM_TWITTER,
+    SELECTED_SUBREDDITS,
+)
 from ..news.domains import NewsCategory
 from .stats import Ecdf
 
 # ---------------------------------------------------------------------------
 # Dataset slicing helpers
 # ---------------------------------------------------------------------------
+
+def sequence_slice_of(record: DatasetRecord,
+                      subreddits=SELECTED_SUBREDDITS) -> str | None:
+    """Coarse-platform slice a record belongs to, or ``None`` if outside.
+
+    This is the canonical routing behind
+    :meth:`~repro.pipeline.CollectedData.sequence_slices`: Twitter,
+    the six selected subreddits, and /pol/.  Batch slicing and the live
+    aggregators share it so their community splits cannot drift apart.
+    """
+    if record.platform == "twitter":
+        return PLATFORM_TWITTER
+    if record.platform == "reddit":
+        return PLATFORM_REDDIT if record.community in subreddits else None
+    if record.platform == "4chan":
+        return PLATFORM_POL if record.community == "/pol/" else None
+    return None
 
 def slice_six_subreddits(reddit: Dataset,
                          subreddits=SELECTED_SUBREDDITS) -> Dataset:
@@ -138,7 +161,14 @@ class RankedShare:
     percentage: float
 
 
-def _ranked(counter: Counter, top_n: int) -> list[RankedShare]:
+def ranked_shares(counter: Counter, top_n: int) -> list[RankedShare]:
+    """Top-N entries of an occurrence counter with percentage shares.
+
+    Shared by the batch table functions below and the incremental
+    aggregators in :mod:`repro.live` — both produce their rows from a
+    plain occurrence :class:`~collections.Counter` through this one
+    function, so batch and live outputs agree exactly.
+    """
     total = sum(counter.values())
     rows = []
     for name, count in counter.most_common(top_n):
@@ -148,6 +178,26 @@ def _ranked(counter: Counter, top_n: int) -> list[RankedShare]:
             percentage=100.0 * count / total if total else 0.0,
         ))
     return rows
+
+
+def count_domain_occurrences(records: Iterable[DatasetRecord],
+                             category: NewsCategory) -> Counter:
+    """Occurrence counter ``domain -> count`` for one category."""
+    counter: Counter = Counter()
+    for record in records:
+        for occurrence in record.urls_of(category):
+            counter[occurrence.domain] += 1
+    return counter
+
+
+def count_url_occurrences(records: Iterable[DatasetRecord],
+                          category: NewsCategory) -> Counter:
+    """Occurrence counter ``url -> count`` for one category."""
+    counter: Counter = Counter()
+    for record in records:
+        for occurrence in record.urls_of(category):
+            counter[occurrence.url] += 1
+    return counter
 
 
 def top_subreddits(reddit: Dataset, category: NewsCategory,
@@ -167,17 +217,13 @@ def top_subreddits(reddit: Dataset, category: NewsCategory,
         occurrences = record.urls_of(category)
         if occurrences:
             counter[record.community] += len(occurrences)
-    return _ranked(counter, top_n)
+    return ranked_shares(counter, top_n)
 
 
 def top_domains(dataset: Dataset, category: NewsCategory,
                 top_n: int = 20) -> list[RankedShare]:
     """Tables 5-7: domains ranked by URL occurrences within a slice."""
-    counter: Counter = Counter()
-    for record in dataset:
-        for occurrence in record.urls_of(category):
-            counter[occurrence.domain] += 1
-    return _ranked(counter, top_n)
+    return ranked_shares(count_domain_occurrences(dataset, category), top_n)
 
 
 def top_domain_coverage(dataset: Dataset, category: NewsCategory,
@@ -197,10 +243,12 @@ def top_domain_coverage(dataset: Dataset, category: NewsCategory,
 def url_appearance_cdf(dataset: Dataset,
                        category: NewsCategory) -> Ecdf | None:
     """Figure 1: ECDF of how many times each URL appears in the slice."""
-    counter: Counter = Counter()
-    for record in dataset:
-        for occurrence in record.urls_of(category):
-            counter[occurrence.url] += 1
+    return appearance_cdf_from_counter(
+        count_url_occurrences(dataset, category))
+
+
+def appearance_cdf_from_counter(counter: Counter) -> Ecdf | None:
+    """Figure 1 ECDF from a ``url -> count`` occurrence counter."""
     if not counter:
         return None
     return Ecdf(list(counter.values()))
@@ -222,20 +270,25 @@ def domain_platform_fractions(named_slices: dict[str, Dataset],
                               category: NewsCategory,
                               top_n: int = 20) -> list[DomainPlatformShare]:
     """Figure 2: for the overall top-N domains, each platform's share."""
-    per_platform: dict[str, Counter] = {}
+    per_platform = {
+        name: count_domain_occurrences(dataset, category)
+        for name, dataset in named_slices.items()
+    }
+    return domain_fractions_from_counters(per_platform, top_n)
+
+
+def domain_fractions_from_counters(per_platform: dict[str, Counter],
+                                   top_n: int = 20,
+                                   ) -> list[DomainPlatformShare]:
+    """Figure 2 rows from per-slice ``domain -> count`` counters."""
     overall: Counter = Counter()
-    for name, dataset in named_slices.items():
-        counter: Counter = Counter()
-        for record in dataset:
-            for occurrence in record.urls_of(category):
-                counter[occurrence.domain] += 1
-        per_platform[name] = counter
+    for counter in per_platform.values():
         overall.update(counter)
     rows = []
     for domain, total in overall.most_common(top_n):
         fractions = {
             name: per_platform[name].get(domain, 0) / total
-            for name in named_slices
+            for name in per_platform
         }
         rows.append(DomainPlatformShare(domain=domain, fractions=fractions,
                                         total=total))

@@ -51,15 +51,16 @@ def _share_rows(counter: Counter) -> list[SequenceShare]:
     return rows
 
 
-def first_hop_distribution(named_slices: dict[str, Dataset],
-                           category: NewsCategory) -> list[SequenceShare]:
-    """Table 9: "X only" singles and first-hop pairs "X→Y".
+def first_hop_rows(firsts: dict[str, dict[str, float]],
+                   ) -> list[SequenceShare]:
+    """Table 9 rows from a ``url -> {platform: first timestamp}`` map.
 
-    Percentages are over all URLs of the category seen anywhere, like
-    the paper's (which sums singles and first-hops to 100%).
+    Shared by :func:`first_hop_distribution` and the incremental
+    first-appearance aggregator in :mod:`repro.live`, so batch and live
+    tables agree exactly.
     """
     counter: Counter = Counter()
-    for platform_firsts in first_appearances(named_slices, category).values():
+    for platform_firsts in firsts.values():
         sequence = sequence_of(platform_firsts)
         codes = [PLATFORM_CODES.get(p, p) for p in sequence]
         if len(codes) == 1:
@@ -69,17 +70,34 @@ def first_hop_distribution(named_slices: dict[str, Dataset],
     return _share_rows(counter)
 
 
-def triplet_distribution(named_slices: dict[str, Dataset],
-                         category: NewsCategory) -> list[SequenceShare]:
-    """Table 10: full orderings for URLs present on all three platforms."""
+def triplet_rows(firsts: dict[str, dict[str, float]],
+                 n_platforms: int = len(SEQUENCE_PLATFORMS),
+                 ) -> list[SequenceShare]:
+    """Table 10 rows from a ``url -> {platform: first timestamp}`` map."""
     counter: Counter = Counter()
-    for platform_firsts in first_appearances(named_slices, category).values():
-        if len(platform_firsts) != len(SEQUENCE_PLATFORMS):
+    for platform_firsts in firsts.values():
+        if len(platform_firsts) != n_platforms:
             continue
         sequence = sequence_of(platform_firsts)
         codes = [PLATFORM_CODES.get(p, p) for p in sequence]
         counter["→".join(codes)] += 1
     return _share_rows(counter)
+
+
+def first_hop_distribution(named_slices: dict[str, Dataset],
+                           category: NewsCategory) -> list[SequenceShare]:
+    """Table 9: "X only" singles and first-hop pairs "X→Y".
+
+    Percentages are over all URLs of the category seen anywhere, like
+    the paper's (which sums singles and first-hops to 100%).
+    """
+    return first_hop_rows(first_appearances(named_slices, category))
+
+
+def triplet_distribution(named_slices: dict[str, Dataset],
+                         category: NewsCategory) -> list[SequenceShare]:
+    """Table 10: full orderings for URLs present on all three platforms."""
+    return triplet_rows(first_appearances(named_slices, category))
 
 
 def head_of_sequence_share(rows: list[SequenceShare],

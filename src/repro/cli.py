@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro world --seed 7 --out data/           # generate + crawl
+    python -m repro live --seed 7                        # streaming engine
     python -m repro reproduce --table 4                  # one experiment
     python -m repro experiments                          # EXPERIMENTS.md
     python -m repro list                                 # experiment index
@@ -47,6 +48,84 @@ def cmd_world(args: argparse.Namespace) -> int:
     data.fourchan.save_jsonl(out / "fourchan.jsonl")
     print(f"wrote {len(data.twitter)} twitter, {len(data.reddit)} reddit, "
           f"{len(data.fourchan)} 4chan records to {out}/")
+    return 0
+
+
+def cmd_live(args: argparse.Namespace) -> int:
+    """Stream a synthetic world (or saved JSONL) through the live engine."""
+    from .config import SEQUENCE_PLATFORMS
+    from .live import (
+        EventBus,
+        LiveEngine,
+        RefitPolicy,
+        WindowedHawkesRefitter,
+        jsonl_source,
+    )
+    from .news.domains import NewsCategory
+    from .reporting import render_table
+
+    if args.resume and args.checkpoint is None:
+        print("--resume needs --checkpoint", file=sys.stderr)
+        return 2
+    if args.replay:
+        sources = []
+        taken: set[str] = set()
+        for i, path in enumerate(args.replay):
+            name = Path(path).stem
+            if name in taken:
+                name = f"{name}#{i}"
+            taken.add(name)
+            sources.append((name, jsonl_source(path)))
+    else:
+        from .pipeline import stream_sources
+        from .synthesis.world import build_world
+        print("generating world ...")
+        world = build_world(_world_config(args))
+        sources = stream_sources(world, stream_seed=args.seed)
+    bus = EventBus(sources)
+    refitter = None
+    if not args.skip_refit:
+        refitter = WindowedHawkesRefitter(
+            policy=RefitPolicy(every_records=args.refit_every,
+                               max_urls=args.refit_max_urls),
+            seed=args.seed)
+    engine = LiveEngine(
+        bus,
+        refitter=refitter,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        summary_every=args.summary_every,
+        on_summary=lambda s: print(s.format()))
+    if args.resume and Path(args.checkpoint).exists():
+        engine.restore()
+        print(f"resumed at {engine.records_seen} records "
+              f"from {args.checkpoint}")
+    engine.run(limit=args.limit)
+
+    final = engine.summary()
+    print(final.format())
+    for category in (NewsCategory.ALTERNATIVE, NewsCategory.MAINSTREAM):
+        rows = engine.first_hops.first_hop(category)
+        if rows:
+            print(render_table(
+                ["Sequence", "URLs", "%"],
+                [[r.sequence, str(r.count), f"{r.percentage:.1f}"]
+                 for r in rows],
+                title=f"First-hop sequences — {category.value}"))
+    top = [[name] + [
+        f"{row.name} ({row.percentage:.1f}%)"
+        for row in engine.domains.top_domains(
+            name, NewsCategory.ALTERNATIVE, 3)]
+        for name in SEQUENCE_PLATFORMS]
+    width = max(len(row) for row in top)
+    print(render_table(
+        ["Slice"] + [f"#{i + 1}" for i in range(width - 1)],
+        [row + [""] * (width - len(row)) for row in top],
+        title="Top alternative domains per slice"))
+    if refitter is not None and refitter.last_result is not None:
+        fits = refitter.last_result.fits
+        print(f"last refit: {len(fits)} URLs fitted "
+              f"({refitter.n_refits} refits total)")
     return 0
 
 
@@ -128,6 +207,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(world)
     world.add_argument("--out", default="data")
     world.set_defaults(func=cmd_world)
+
+    live = sub.add_parser("live", help=cmd_live.__doc__)
+    _add_world_args(live)
+    live.add_argument("--replay", nargs="+", metavar="JSONL",
+                      help="replay saved datasets instead of a new world")
+    live.add_argument("--limit", type=int, default=None,
+                      help="stop after this many records")
+    live.add_argument("--summary-every", type=int, default=2000)
+    live.add_argument("--checkpoint", default=None,
+                      help="checkpoint file (JSON)")
+    live.add_argument("--checkpoint-every", type=int, default=20000)
+    live.add_argument("--resume", action="store_true",
+                      help="restore from --checkpoint before streaming")
+    live.add_argument("--skip-refit", action="store_true")
+    live.add_argument("--refit-every", type=int, default=25000)
+    live.add_argument("--refit-max-urls", type=int, default=50)
+    live.set_defaults(func=cmd_live)
 
     listing = sub.add_parser("list", help=cmd_list.__doc__)
     listing.set_defaults(func=cmd_list)

@@ -8,7 +8,7 @@ recovers engagement counts for still-available tweets.
 """
 
 from .anonymize import AnonymizationKey, anonymize_dataset
-from .store import Dataset, DatasetRecord, UrlOccurrence
+from .store import Dataset, DatasetRecord, UrlOccurrence, iter_jsonl
 from .streaming import TwitterStreamCollector
 from .crawlers import FourchanCrawler, RedditDumpReader
 from .recrawl import RecrawlStats, TweetRecrawler
@@ -19,6 +19,7 @@ __all__ = [
     "Dataset",
     "DatasetRecord",
     "UrlOccurrence",
+    "iter_jsonl",
     "TwitterStreamCollector",
     "FourchanCrawler",
     "RedditDumpReader",

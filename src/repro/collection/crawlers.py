@@ -10,7 +10,7 @@ the crawler is down are lost forever.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..config import FOURCHAN_GAPS
 from ..news.classify import extract_news_urls
@@ -27,8 +27,8 @@ class RedditDumpReader:
 
     registry: NewsRegistry = field(default_factory=default_registry)
 
-    def collect(self, platform: RedditPlatform) -> Dataset:
-        dataset = Dataset()
+    def stream(self, platform: RedditPlatform) -> Iterator[DatasetRecord]:
+        """Yield news-URL records one at a time, in timestamp order."""
         items = [post.to_post() for post in platform.posts.values()]
         items.extend(comment.to_post()
                      for comment in platform.comments.values())
@@ -37,7 +37,7 @@ class RedditDumpReader:
             news_urls = extract_news_urls(post.text, self.registry)
             if not news_urls:
                 continue
-            dataset.add(DatasetRecord(
+            yield DatasetRecord(
                 post_id=post.post_id,
                 platform="reddit",
                 community=post.community,
@@ -48,8 +48,10 @@ class RedditDumpReader:
                                   category=u.category)
                     for u in news_urls
                 ),
-            ))
-        return dataset
+            )
+
+    def collect(self, platform: RedditPlatform) -> Dataset:
+        return Dataset(self.stream(platform))
 
 
 @dataclass
@@ -73,9 +75,10 @@ class FourchanCrawler:
                     return True
         return False
 
-    def collect(self, platform: FourchanPlatform,
-                boards: Sequence[str] | None = None) -> Dataset:
-        dataset = Dataset()
+    def stream(self, platform: FourchanPlatform,
+               boards: Sequence[str] | None = None,
+               ) -> Iterator[DatasetRecord]:
+        """Yield news-URL records one at a time, in timestamp order."""
         board_names = ([b.strip("/") for b in boards] if boards
                        else list(platform.boards))
         posts = []
@@ -96,7 +99,7 @@ class FourchanCrawler:
             news_urls = extract_news_urls(post.text, self.registry)
             if not news_urls:
                 continue
-            dataset.add(DatasetRecord(
+            yield DatasetRecord(
                 post_id=post.post_id,
                 platform="4chan",
                 community=post.community,
@@ -107,5 +110,8 @@ class FourchanCrawler:
                                   category=u.category)
                     for u in news_urls
                 ),
-            ))
-        return dataset
+            )
+
+    def collect(self, platform: FourchanPlatform,
+                boards: Sequence[str] | None = None) -> Dataset:
+        return Dataset(self.stream(platform, boards))

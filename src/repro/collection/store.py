@@ -169,10 +169,17 @@ class Dataset:
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "Dataset":
-        dataset = cls()
-        with Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    dataset.add(DatasetRecord.from_json(line))
-        return dataset
+        return cls(iter_jsonl(path))
+
+
+def iter_jsonl(path: str | Path) -> Iterator[DatasetRecord]:
+    """Stream records from a JSONL file one line at a time.
+
+    Never materializes the whole file; usable directly as an event-bus
+    source for replaying a saved dataset (see :mod:`repro.live.bus`).
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield DatasetRecord.from_json(line)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..config import TWITTER_GAPS
 from ..news.classify import extract_news_urls
@@ -38,21 +38,25 @@ class TwitterStreamCollector:
     def __post_init__(self) -> None:
         if not 0 < self.sample_rate <= 1:
             raise ValueError("sample_rate must be in (0, 1]")
-        self._rng = random.Random(self.seed)
 
-    def collect(self, platform: TwitterPlatform) -> Dataset:
-        """Stream the platform's tweets into a dataset."""
-        dataset = Dataset()
+    def stream(self, platform: TwitterPlatform) -> Iterator[DatasetRecord]:
+        """Yield news-URL records one at a time, in timestamp order.
+
+        Each call samples with a fresh ``Random(seed)``, so repeated
+        streams of the same firehose are identical — the deterministic
+        replay that checkpoint resume relies on.
+        """
+        rng = random.Random(self.seed)
         for tweet in sorted(platform.firehose, key=lambda t: t.created_at):
             if in_any_interval(tweet.created_at, self.gaps):
                 continue
             if (self.sample_rate < 1.0
-                    and self._rng.random() >= self.sample_rate):
+                    and rng.random() >= self.sample_rate):
                 continue
             news_urls = extract_news_urls(tweet.text, self.registry)
             if not news_urls:
                 continue
-            dataset.add(DatasetRecord(
+            yield DatasetRecord(
                 post_id=tweet.tweet_id,
                 platform="twitter",
                 community="Twitter",
@@ -63,5 +67,8 @@ class TwitterStreamCollector:
                                   category=u.category)
                     for u in news_urls
                 ),
-            ))
-        return dataset
+            )
+
+    def collect(self, platform: TwitterPlatform) -> Dataset:
+        """Stream the platform's tweets into a dataset."""
+        return Dataset(self.stream(platform))

@@ -1,0 +1,189 @@
+"""The live engine: bus in, rolling paper-measurement views out.
+
+``LiveEngine`` drains an :class:`~repro.live.bus.EventBus`, feeds every
+record to the incremental aggregators, periodically re-estimates Hawkes
+influence over a sliding window, snapshots its state to a checkpoint
+file, and emits rolling summaries.  Each record costs O(log n) work
+(the cascade insertion dominates); no step rescans the stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Iterator
+
+from .aggregators import (
+    CascadeAssembler,
+    DomainFractionAggregator,
+    FirstHopAggregator,
+    UrlAppearanceAggregator,
+)
+from .bus import EventBus
+from .checkpoint import load_checkpoint, save_checkpoint
+from .refit import WindowedHawkesRefitter
+
+
+@dataclass(frozen=True)
+class RollingSummary:
+    """One rolling progress line of the engine."""
+
+    records: int
+    by_source: dict[str, int]
+    stream_time: float
+    distinct_urls: int
+    open_cascades: int
+    n_refits: int
+
+    def format(self) -> str:
+        sources = " ".join(f"{name}={count}"
+                           for name, count in sorted(self.by_source.items()))
+        return (f"[t={self.stream_time:14.1f}] {self.records:8d} records "
+                f"({sources}) urls={self.distinct_urls} "
+                f"cascades={self.open_cascades} refits={self.n_refits}")
+
+
+class LiveEngine:
+    """Incremental analytics over a merged record stream."""
+
+    def __init__(self, bus: EventBus | None = None, *,
+                 refitter: WindowedHawkesRefitter | None = None,
+                 checkpoint_path: str | Path | None = None,
+                 checkpoint_every: int = 20000,
+                 summary_every: int = 2000,
+                 on_summary: Callable[[RollingSummary], None] | None = None,
+                 ) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        self.refitter = refitter
+        self.checkpoint_path = (Path(checkpoint_path)
+                                if checkpoint_path is not None else None)
+        self.checkpoint_every = checkpoint_every
+        self.summary_every = summary_every
+        self.on_summary = on_summary
+
+        self.domains = DomainFractionAggregator()
+        self.appearances = UrlAppearanceAggregator()
+        self.first_hops = FirstHopAggregator()
+        self.cascades = CascadeAssembler()
+
+        self.records_seen = 0
+        self.by_source: Counter = Counter()
+        self.stream_time = 0.0
+        #: Records run() must skip to reach the stream position of a
+        #: restored checkpoint (set by restore()).
+        self._replay_skip = 0
+        #: The bus merge, created once: repeated run(limit=...) calls
+        #: continue the same iterator, so records a previous call pulled
+        #: into the merge heap are never dropped.
+        self._events: Iterator | None = None
+
+    # -- ingestion ----------------------------------------------------------
+
+    def process(self, record, source: str = "replay") -> None:
+        """Apply one record to every aggregator — the O(Δ) update."""
+        self.records_seen += 1
+        self.by_source[source] += 1
+        if record.created_at > self.stream_time:
+            self.stream_time = record.created_at
+        self.domains.update(record)
+        self.appearances.update(record)
+        self.first_hops.update(record)
+        self.cascades.update(record)
+
+    def run(self, limit: int | None = None) -> int:
+        """Drain the bus (up to ``limit`` new records); returns records read.
+
+        After :meth:`restore`, the first ``records_seen`` bus records are
+        skipped, not re-processed: the bus is assumed to replay the same
+        deterministic stream the checkpointed run consumed (same world
+        seed, same sources), so skipping reproduces the stream position.
+        """
+        if self._events is None:
+            self._events = self.bus.events()
+        events = self._events
+        while self._replay_skip > 0:
+            if next(events, None) is None:
+                break
+            self._replay_skip -= 1
+        if limit is not None:
+            events = islice(events, limit)
+        consumed = 0
+        for source, record in events:
+            self.process(record, source)
+            consumed += 1
+            if self.summary_every and self.records_seen % self.summary_every == 0:
+                self._emit_summary()
+            if self.refitter is not None:
+                self.refitter.maybe_refit(self.cascades, self.stream_time,
+                                          self.records_seen)
+            if (self.checkpoint_path is not None and self.checkpoint_every
+                    and self.records_seen % self.checkpoint_every == 0):
+                self.checkpoint()
+        if self.checkpoint_path is not None and consumed:
+            self.checkpoint()
+        return consumed
+
+    # -- summaries ----------------------------------------------------------
+
+    def summary(self) -> RollingSummary:
+        return RollingSummary(
+            records=self.records_seen,
+            by_source=dict(self.by_source),
+            stream_time=self.stream_time,
+            distinct_urls=self.appearances.distinct_urls(),
+            open_cascades=len(self.cascades),
+            n_refits=(self.refitter.n_refits
+                      if self.refitter is not None else 0),
+        )
+
+    def _emit_summary(self) -> None:
+        if self.on_summary is not None:
+            self.on_summary(self.summary())
+
+    # -- checkpoint / restore -----------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = {
+            "records_seen": self.records_seen,
+            "by_source": dict(self.by_source),
+            "stream_time": self.stream_time,
+            "domains": self.domains.state_dict(),
+            "appearances": self.appearances.state_dict(),
+            "first_hops": self.first_hops.state_dict(),
+            "cascades": self.cascades.state_dict(),
+        }
+        if self.refitter is not None:
+            state["refitter"] = self.refitter.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        self.records_seen = int(state["records_seen"])
+        self.by_source = Counter(state["by_source"])
+        self.stream_time = float(state["stream_time"])
+        self.domains.load_state(state["domains"])
+        self.appearances.load_state(state["appearances"])
+        self.first_hops.load_state(state["first_hops"])
+        self.cascades.load_state(state["cascades"])
+        if self.refitter is not None and "refitter" in state:
+            self.refitter.load_state(state["refitter"])
+
+    def checkpoint(self) -> Path:
+        if self.checkpoint_path is None:
+            raise ValueError("engine has no checkpoint_path")
+        return save_checkpoint(self.checkpoint_path, self.state_dict())
+
+    def restore(self, path: str | Path | None = None) -> None:
+        """Load a checkpoint so the engine resumes mid-stream.
+
+        The next :meth:`run` skips the first ``records_seen`` records of
+        the bus — restore expects the bus to replay the same stream the
+        checkpointed run consumed.  To continue from a different feed,
+        use :meth:`load_state` directly.
+        """
+        source = path if path is not None else self.checkpoint_path
+        if source is None:
+            raise ValueError("engine has no checkpoint_path")
+        self.load_state(load_checkpoint(source))
+        self._replay_skip = self.records_seen

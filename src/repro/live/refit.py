@@ -1,0 +1,101 @@
+"""Windowed Hawkes refitting: rolling influence estimates (Section 5).
+
+The batch experiment fits every URL once, after the full eight-month
+collection.  An always-on service wants the influence matrices to track
+the stream instead, so the refitter re-estimates them at a configurable
+cadence over a sliding window of *settled* cascades — URLs whose last
+observed event is older than a quiet horizon (still-growing cascades
+would bias the weights) but newer than the window start.  Fitting
+reuses :func:`repro.core.influence.fit_corpus` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import HawkesConfig
+from ..core.influence import (
+    FitMethod,
+    InfluenceResult,
+    select_urls,
+    fit_corpus,
+)
+from ..timeutil import SECONDS_PER_DAY
+from .aggregators import CascadeAssembler
+
+
+@dataclass
+class RefitPolicy:
+    """When and over what horizon the refitter runs."""
+
+    #: Re-estimate after this many new records (stream cadence).
+    every_records: int = 5000
+    #: Sliding window length over cascade completion times, seconds.
+    window_seconds: float = 60 * SECONDS_PER_DAY
+    #: A cascade is "settled" once quiet for this long, seconds.
+    quiet_seconds: float = 2 * SECONDS_PER_DAY
+    #: Cap on URLs per refit (keeps a refit's cost bounded).
+    max_urls: int = 100
+    #: Fit method; EM is deterministic and much cheaper than Gibbs,
+    #: which matters when refitting continuously.
+    method: FitMethod = "em"
+
+
+@dataclass
+class WindowedHawkesRefitter:
+    """Sliding-window influence re-estimation at a record cadence."""
+
+    policy: RefitPolicy = field(default_factory=RefitPolicy)
+    config: HawkesConfig = field(default_factory=lambda: HawkesConfig(
+        gibbs_iterations=30, gibbs_burn_in=10))
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.last_result: InfluenceResult | None = None
+        self.n_refits = 0
+        self.records_at_last_refit = 0
+        self.last_corpus_size = 0
+
+    def due(self, records_seen: int) -> bool:
+        return (records_seen - self.records_at_last_refit
+                >= self.policy.every_records)
+
+    def maybe_refit(self, assembler: CascadeAssembler, now: float,
+                    records_seen: int) -> InfluenceResult | None:
+        """Refit if the cadence elapsed; returns the new result or None."""
+        if not self.due(records_seen):
+            return None
+        self.records_at_last_refit = records_seen
+        return self.refit(assembler, now)
+
+    def refit(self, assembler: CascadeAssembler,
+              now: float) -> InfluenceResult | None:
+        """Fit the current window unconditionally."""
+        window_start = now - self.policy.window_seconds
+        settled_before = now - self.policy.quiet_seconds
+        cascades = assembler.cascades_between(window_start, settled_before)
+        corpus = select_urls(cascades)[:self.policy.max_urls]
+        self.last_corpus_size = len(corpus)
+        if not corpus:
+            return None
+        rng = np.random.default_rng(self.seed + self.n_refits)
+        result = fit_corpus(corpus, self.config, method=self.policy.method,
+                            rng=rng)
+        self.last_result = result
+        self.n_refits += 1
+        return result
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Cadence bookkeeping only; fits are recomputed, not persisted."""
+        return {
+            "n_refits": self.n_refits,
+            "records_at_last_refit": self.records_at_last_refit,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.n_refits = int(state["n_refits"])
+        self.records_at_last_refit = int(state["records_at_last_refit"])

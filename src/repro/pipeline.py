@@ -9,10 +9,12 @@ per-URL cascades for the Hawkes influence experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from .analysis import characterization as chz
 from .collection import (
     Dataset,
+    DatasetRecord,
     FourchanCrawler,
     RedditDumpReader,
     RecrawlStats,
@@ -96,6 +98,24 @@ def generate_and_collect(config: WorldConfig | None = None) -> CollectedData:
     """Build a world and crawl it — the standard pipeline entry point."""
     world = build_world(config)
     return collect(world)
+
+
+def stream_sources(world: World, stream_seed: int = 0,
+                   ) -> list[tuple[str, Iterator[DatasetRecord]]]:
+    """Per-platform record generators for the live event bus.
+
+    The exact collectors :func:`collect` runs, exposed as generators:
+    feeding these through :class:`repro.live.EventBus` yields the same
+    records batch collection produces, one at a time.
+    """
+    return [
+        ("twitter", TwitterStreamCollector(
+            registry=world.registry, seed=stream_seed).stream(world.twitter)),
+        ("reddit", RedditDumpReader(
+            registry=world.registry).stream(world.reddit)),
+        ("4chan", FourchanCrawler(
+            registry=world.registry).stream(world.fourchan)),
+    ]
 
 
 def influence_cascades(data: CollectedData) -> list[UrlCascade]:

@@ -1,0 +1,108 @@
+"""Event bus: ordering, determinism, sources, and collector streams."""
+
+import pytest
+
+from repro.collection import (
+    Dataset,
+    DatasetRecord,
+    FourchanCrawler,
+    RedditDumpReader,
+    TwitterStreamCollector,
+    UrlOccurrence,
+)
+from repro.live import EventBus, dataset_source, jsonl_source
+from repro.news.domains import NewsCategory
+
+ALT = NewsCategory.ALTERNATIVE
+
+
+def _record(post_id, t, community="Twitter", platform="twitter"):
+    return DatasetRecord(
+        post_id=post_id, platform=platform, community=community,
+        author_id="u1", created_at=float(t),
+        urls=(UrlOccurrence(f"http://breitbart.com/{post_id}",
+                            "breitbart.com", ALT),))
+
+
+def test_bus_merges_in_timestamp_order():
+    a = [_record("a1", 1), _record("a2", 5), _record("a3", 9)]
+    b = [_record("b1", 2), _record("b2", 3), _record("b3", 8)]
+    bus = EventBus([("a", iter(a)), ("b", iter(b))])
+    merged = list(bus.events())
+    times = [record.created_at for _, record in merged]
+    assert times == sorted(times)
+    assert [record.post_id for _, record in merged] == [
+        "a1", "b1", "b2", "a2", "b3", "a3"]
+    assert [name for name, _ in merged] == ["a", "b", "b", "a", "b", "a"]
+
+
+def test_bus_breaks_ties_by_source_registration_order():
+    a = [_record("a1", 5)]
+    b = [_record("b1", 5)]
+    bus = EventBus([("b", iter(b)), ("a", iter(a))])
+    assert [r.post_id for r in bus] == ["b1", "a1"]
+
+
+def test_bus_rejects_unsorted_source():
+    bad = [_record("x1", 5), _record("x2", 1)]
+    bus = EventBus([("bad", iter(bad))])
+    with pytest.raises(ValueError, match="not timestamp-ordered"):
+        list(bus)
+
+
+def test_bus_rejects_duplicate_source_name():
+    bus = EventBus([("a", iter([]))])
+    with pytest.raises(ValueError, match="duplicate"):
+        bus.add_source("a", iter([]))
+
+
+def test_dataset_source_sorts_records():
+    dataset = Dataset([_record("x2", 9), _record("x1", 1)])
+    replayed = list(dataset_source(dataset))
+    assert [r.post_id for r in replayed] == ["x1", "x2"]
+
+
+def test_jsonl_source_replays_saved_dataset(tmp_path):
+    dataset = Dataset([_record("x1", 1), _record("x2", 9)])
+    path = tmp_path / "saved.jsonl"
+    dataset.save_jsonl(path)
+    replayed = list(jsonl_source(path))
+    assert replayed == dataset.records
+    # and it feeds the bus directly
+    bus = EventBus([("replay", jsonl_source(path))])
+    assert [r.post_id for r in bus] == ["x1", "x2"]
+
+
+def test_collector_streams_match_batch_collect(small_world):
+    """stream() and collect() are the same logic, not forks."""
+    twitter = TwitterStreamCollector(registry=small_world.registry, seed=0)
+    assert (list(twitter.stream(small_world.twitter))
+            == twitter.collect(small_world.twitter).records)
+    reddit = RedditDumpReader(registry=small_world.registry)
+    assert (list(reddit.stream(small_world.reddit))
+            == reddit.collect(small_world.reddit).records)
+    fourchan = FourchanCrawler(registry=small_world.registry)
+    assert (list(fourchan.stream(small_world.fourchan))
+            == fourchan.collect(small_world.fourchan).records)
+
+
+def test_twitter_sampling_stream_is_repeatable(small_world):
+    """Sub-1.0 sample rates draw from a fresh rng per stream() call."""
+    collector = TwitterStreamCollector(registry=small_world.registry,
+                                       sample_rate=0.5, seed=5)
+    first = list(collector.stream(small_world.twitter))
+    second = list(collector.stream(small_world.twitter))
+    assert first == second
+    assert collector.collect(small_world.twitter).records == first
+
+
+def test_collector_streams_are_timestamp_ordered(small_world):
+    for collector, platform in (
+            (TwitterStreamCollector(registry=small_world.registry),
+             small_world.twitter),
+            (RedditDumpReader(registry=small_world.registry),
+             small_world.reddit),
+            (FourchanCrawler(registry=small_world.registry),
+             small_world.fourchan)):
+        times = [r.created_at for r in collector.stream(platform)]
+        assert times == sorted(times)

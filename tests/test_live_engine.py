@@ -1,0 +1,198 @@
+"""Live engine vs batch pipeline: the acceptance-criteria equivalence.
+
+The engine consumes the same record stream the batch collectors
+produce; after draining it, every live view must equal the batch
+analysis output exactly — domain fractions, top-domain tables, URL
+appearance ECDFs, first-hop/triplet tables, and the assembled Hawkes
+cascades.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.analysis import characterization as chz
+from repro.analysis import sequences
+from repro.config import SEQUENCE_PLATFORMS
+from repro.core.influence import select_urls
+from repro.live import (
+    EventBus,
+    LiveEngine,
+    RefitPolicy,
+    WindowedHawkesRefitter,
+)
+from repro.news.domains import NewsCategory
+from repro.pipeline import influence_cascades, stream_sources
+
+
+@pytest.fixture(scope="module")
+def live_engine(small_world):
+    engine = LiveEngine(EventBus(stream_sources(small_world)),
+                        summary_every=0)
+    engine.run()
+    return engine
+
+
+def test_streams_every_collected_record(live_engine, collected):
+    batch_total = (len(collected.twitter) + len(collected.reddit)
+                   + len(collected.fourchan))
+    assert live_engine.records_seen == batch_total
+    assert live_engine.by_source["twitter"] == len(collected.twitter)
+    assert live_engine.by_source["reddit"] == len(collected.reddit)
+    assert live_engine.by_source["4chan"] == len(collected.fourchan)
+
+
+@pytest.mark.parametrize("category", list(NewsCategory))
+def test_domain_fractions_match_batch(live_engine, collected, category):
+    slices = collected.sequence_slices()
+    assert (live_engine.domains.platform_fractions(category)
+            == chz.domain_platform_fractions(slices, category))
+    for name, dataset in slices.items():
+        assert (live_engine.domains.top_domains(name, category)
+                == chz.top_domains(dataset, category))
+
+
+@pytest.mark.parametrize("category", list(NewsCategory))
+def test_url_appearances_match_batch(live_engine, collected, category):
+    for name, dataset in collected.sequence_slices().items():
+        batch = chz.url_appearance_cdf(dataset, category)
+        live = live_engine.appearances.appearance_cdf(name, category)
+        if batch is None:
+            assert live is None
+        else:
+            assert np.array_equal(batch.values, live.values)
+
+
+@pytest.mark.parametrize("category", list(NewsCategory))
+def test_first_hops_match_batch(live_engine, collected, category):
+    slices = collected.sequence_slices()
+    assert (live_engine.first_hops.first_hop(category)
+            == sequences.first_hop_distribution(slices, category))
+    assert (live_engine.first_hops.triplets(category)
+            == sequences.triplet_distribution(slices, category))
+
+
+def test_cascades_match_batch(live_engine, collected):
+    batch = {c.url: c for c in influence_cascades(collected)}
+    live = {c.url: c for c in live_engine.cascades.cascades()}
+    assert batch == live
+
+
+def test_refitter_runs_on_stream(small_world):
+    refitter = WindowedHawkesRefitter(
+        policy=RefitPolicy(every_records=400, max_urls=4, method="em"),
+        seed=3)
+    engine = LiveEngine(EventBus(stream_sources(small_world)),
+                        refitter=refitter, summary_every=0)
+    engine.run(limit=1200)
+    assert refitter.n_refits >= 1 or refitter.last_corpus_size == 0
+    if refitter.last_result is not None:
+        k = len(refitter.last_result.processes)
+        for fit in refitter.last_result.fits:
+            assert fit.weights.shape == (k, k)
+            assert np.all(fit.weights >= 0)
+
+
+def test_refit_window_selects_settled_cascades(live_engine):
+    assembler = live_engine.cascades
+    last = max(c.last_time for c in assembler.cascades())
+    window = assembler.cascades_between(0.0, last - 1.0)
+    assert all(c.last_time <= last - 1.0 for c in window)
+    eligible = select_urls(window)
+    for cascade in eligible:
+        present = cascade.processes_present()
+        assert "Twitter" in present and "/pol/" in present
+
+
+def test_cli_live_smoke(tmp_path, capsys):
+    """`python -m repro live --seed 7` streams end-to-end."""
+    checkpoint = tmp_path / "ckpt.json"
+    rc = cli.main([
+        "live", "--seed", "7",
+        "--stories-alt", "40", "--stories-main", "100",
+        "--twitter-users", "60", "--reddit-users", "50",
+        "--summary-every", "500", "--skip-refit",
+        "--checkpoint", str(checkpoint)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "records" in out
+    assert "First-hop sequences" in out
+    assert checkpoint.exists()
+
+    # resuming from the checkpoint restores the stream position and
+    # does NOT re-count the already-processed records
+    from repro.live import load_checkpoint
+    first = load_checkpoint(checkpoint)
+    rc = cli.main([
+        "live", "--seed", "7",
+        "--stories-alt", "40", "--stories-main", "100",
+        "--twitter-users", "60", "--reddit-users", "50",
+        "--skip-refit", "--resume",
+        "--checkpoint", str(checkpoint)])
+    assert rc == 0
+    assert "resumed at" in capsys.readouterr().out
+    second = load_checkpoint(checkpoint)
+    assert second == first  # identical stream replay adds nothing
+
+
+def test_incremental_runs_drop_no_records(collected):
+    """Repeated run(limit=N) drains the bus without losing merge state."""
+    from repro.live import dataset_source
+
+    full = collected.merged()
+    chunked = LiveEngine(EventBus([
+        ("twitter", dataset_source(collected.twitter)),
+        ("reddit", dataset_source(collected.reddit)),
+        ("4chan", dataset_source(collected.fourchan))]),
+        summary_every=0)
+    while chunked.run(limit=997):
+        pass
+    assert chunked.records_seen == len(full)
+    straight = LiveEngine(EventBus([("replay", dataset_source(full))]),
+                          summary_every=0)
+    straight.run()
+    assert (chunked.first_hops.state_dict()
+            == straight.first_hops.state_dict())
+    assert chunked.domains.state_dict() == straight.domains.state_dict()
+
+
+def test_resumed_run_skips_already_seen_records(small_world, tmp_path):
+    """restore() + run() over the same stream equals one straight run."""
+    straight = LiveEngine(EventBus(stream_sources(small_world)),
+                          summary_every=0)
+    straight.run()
+
+    path = tmp_path / "ck.json"
+    partial = LiveEngine(EventBus(stream_sources(small_world)),
+                         checkpoint_path=path, summary_every=0)
+    partial.run(limit=700)
+
+    resumed = LiveEngine(EventBus(stream_sources(small_world)),
+                         summary_every=0)
+    resumed.restore(path)
+    assert resumed.records_seen == 700
+    resumed.run()
+    assert resumed.records_seen == straight.records_seen
+    assert resumed.state_dict() == straight.state_dict()
+
+
+def test_rolling_summary_format(live_engine):
+    summary = live_engine.summary()
+    line = summary.format()
+    assert f"{summary.records:8d} records" in line
+    assert summary.distinct_urls == live_engine.appearances.distinct_urls()
+    for name in ("twitter", "reddit", "4chan"):
+        assert name in line
+    assert set(summary.by_source) == {"twitter", "reddit", "4chan"}
+
+
+def test_slice_router_matches_batch_slicing(collected):
+    """sequence_slice_of routes records exactly like CollectedData."""
+    slices = collected.sequence_slices()
+    for name, dataset in slices.items():
+        for record in dataset:
+            assert chz.sequence_slice_of(record) == name
+    for record in collected.reddit_other:
+        assert chz.sequence_slice_of(record) is None
+    for record in collected.fourchan_other:
+        assert chz.sequence_slice_of(record) is None

@@ -1,0 +1,189 @@
+"""Property-based equivalence: incremental aggregators vs batch scans.
+
+Hypothesis drives random record streams across all three platforms
+(including communities outside the studied slices); on every stream the
+live aggregators must produce exactly the batch answers, and a
+checkpoint → restore → continue run must be indistinguishable from an
+uninterrupted one.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import characterization as chz
+from repro.analysis import sequences
+from repro.collection.store import Dataset, DatasetRecord, UrlOccurrence
+from repro.config import (
+    PLATFORM_POL,
+    PLATFORM_REDDIT,
+    PLATFORM_TWITTER,
+    SEQUENCE_PLATFORMS,
+)
+from repro.core.influence import UrlCascade
+from repro.live import LiveEngine
+from repro.news.domains import NewsCategory
+from repro.timeutil import SECONDS_PER_DAY
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+#: (platform, community) mix: studied slices plus out-of-slice venues.
+_venues = st.sampled_from([
+    ("twitter", "Twitter"),
+    ("reddit", "politics"),
+    ("reddit", "The_Donald"),
+    ("reddit", "sub_0001"),          # outside the six subreddits
+    ("4chan", "/pol/"),
+    ("4chan", "/sp/"),               # outside /pol/
+])
+_domains = st.sampled_from([("breitbart.com", ALT), ("rt.com", ALT),
+                            ("nytimes.com", MAIN)])
+_times = st.floats(0, 10 * SECONDS_PER_DAY, allow_nan=False)
+_events = st.lists(
+    st.tuples(_times, _venues, _domains, st.integers(0, 5)), max_size=50)
+
+
+def _records(events):
+    records = []
+    for i, (t, (platform, community), (domain, category), path) in enumerate(
+            sorted(events, key=lambda e: e[0])):
+        records.append(DatasetRecord(
+            post_id=f"p{i}", platform=platform, community=community,
+            author_id=f"u{i % 3}", created_at=t,
+            urls=(UrlOccurrence(f"http://{domain}/{path}", domain,
+                                category),)))
+    return records
+
+
+def _batch_slices(records):
+    """Slice the way CollectedData does: per platform, then refine."""
+    twitter = Dataset(r for r in records if r.platform == "twitter")
+    reddit = Dataset(r for r in records if r.platform == "reddit")
+    fourchan = Dataset(r for r in records if r.platform == "4chan")
+    return {
+        PLATFORM_POL: chz.slice_board(fourchan),
+        PLATFORM_REDDIT: chz.slice_six_subreddits(reddit),
+        PLATFORM_TWITTER: twitter,
+    }
+
+
+def _drain(engine, records):
+    for record in records:
+        engine.process(record)
+    return engine
+
+
+def _assert_views_match_batch(engine, records):
+    slices = _batch_slices(records)
+    for category in NewsCategory:
+        assert (engine.domains.platform_fractions(category)
+                == chz.domain_platform_fractions(slices, category))
+        assert (engine.first_hops.first_hop(category)
+                == sequences.first_hop_distribution(slices, category))
+        assert (engine.first_hops.triplets(category)
+                == sequences.triplet_distribution(slices, category))
+        for name, dataset in slices.items():
+            assert (engine.domains.top_domains(name, category)
+                    == chz.top_domains(dataset, category))
+            batch_cdf = chz.url_appearance_cdf(dataset, category)
+            live_cdf = engine.appearances.appearance_cdf(name, category)
+            if batch_cdf is None:
+                assert live_cdf is None
+            else:
+                assert np.array_equal(batch_cdf.values, live_cdf.values)
+
+
+@given(_events)
+@settings(max_examples=30, deadline=None)
+def test_incremental_equals_batch(events):
+    records = _records(events)
+    engine = _drain(LiveEngine(summary_every=0), records)
+    _assert_views_match_batch(engine, records)
+
+
+@given(_events)
+@settings(max_examples=30, deadline=None)
+def test_cascade_assembly_equals_batch(events):
+    records = _records(events)
+    engine = _drain(LiveEngine(summary_every=0), records)
+    merged = Dataset(records)
+    categories = merged.url_categories()
+    allowed = engine.cascades.processes
+    batch = {}
+    for url, times in merged.url_timestamps().items():
+        kept = tuple((t, c) for t, c in times if c in allowed)
+        if kept:
+            batch[url] = UrlCascade(url=url, category=categories[url],
+                                    events=kept)
+    assert {c.url: c for c in engine.cascades.cascades()} == batch
+
+
+@given(_events, st.integers(0, 49))
+@settings(max_examples=30, deadline=None)
+def test_checkpoint_restore_continue_equals_uninterrupted(events, cut):
+    records = _records(events)
+    cut = min(cut, len(records))
+
+    interrupted = _drain(LiveEngine(summary_every=0), records[:cut])
+    # serialize through actual JSON: state must survive the wire format
+    state = json.loads(json.dumps(interrupted.state_dict()))
+    restored = LiveEngine(summary_every=0)
+    restored.load_state(state)
+    _drain(restored, records[cut:])
+
+    straight = _drain(LiveEngine(summary_every=0), records)
+    assert restored.records_seen == straight.records_seen
+    assert restored.state_dict() == straight.state_dict()
+    _assert_views_match_batch(restored, records)
+
+
+@given(_events, st.integers(1, 49))
+@settings(max_examples=20, deadline=None)
+def test_state_dict_is_a_snapshot_not_a_view(events, cut):
+    """Processing more records must not mutate an earlier state_dict."""
+    records = _records(events)
+    cut = min(cut, len(records))
+    engine = _drain(LiveEngine(summary_every=0), records[:cut])
+    snapshot = engine.state_dict()
+    frozen = json.dumps(snapshot, sort_keys=True)
+    _drain(engine, records[cut:])
+    assert json.dumps(snapshot, sort_keys=True) == frozen
+
+
+def test_engine_state_roundtrips_through_checkpoint_file(tmp_path,
+                                                         collected):
+    from repro.live import EventBus, dataset_source
+
+    path = tmp_path / "engine.json"
+    engine = LiveEngine(
+        EventBus([("replay", dataset_source(collected.merged()))]),
+        checkpoint_path=path, checkpoint_every=0, summary_every=0)
+    engine.run(limit=500)
+    engine.checkpoint()
+
+    restored = LiveEngine(summary_every=0)
+    restored.restore(path)
+    assert restored.state_dict() == engine.state_dict()
+    assert restored.records_seen == 500
+    # restored cascades keep working incrementally
+    remaining = sorted(collected.merged(),
+                       key=lambda r: r.created_at)[500:600]
+    for record in remaining:
+        restored.process(record)
+    assert restored.records_seen == 600
+
+
+def test_checkpoint_rejects_unknown_version(tmp_path):
+    from repro.live import load_checkpoint
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "state": {}}),
+                    encoding="utf-8")
+    try:
+        load_checkpoint(path)
+    except ValueError as error:
+        assert "version" in str(error)
+    else:
+        raise AssertionError("expected ValueError")
