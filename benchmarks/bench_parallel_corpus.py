@@ -1,0 +1,77 @@
+"""Parallel corpus fitting: throughput vs. worker count.
+
+Complements ``bench_core_fitters.py`` (single-fit microbenchmarks) with
+the corpus-level question the `repro.parallel` subsystem answers: how
+does `fit_corpus` scale when the per-URL fits fan out over worker
+processes?  Reports wall time, URLs/sec, speedup over serial, and
+parallel efficiency (speedup / workers) for 1/2/4 jobs — and verifies
+on real corpus data that every configuration returns the same bits.
+
+Speedup is hardware-dependent (on a single-core container the pool
+only adds dispatch overhead); the determinism check is not.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import HawkesConfig
+from repro.core import fit_corpus
+from repro.reporting import render_table
+
+from _helpers import RESULTS_DIR  # noqa: F401 (pytest adds benchmarks/)
+
+#: Corpus slice sized so three full fits stay in benchmark territory.
+N_URLS = 16
+JOB_COUNTS = (1, 2, 4)
+PARALLEL_HAWKES = HawkesConfig(gibbs_iterations=40, gibbs_burn_in=15)
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def parallel_corpus(bench_corpus):
+    return bench_corpus[:N_URLS]
+
+
+def _timed_fit(corpus, n_jobs):
+    start = time.perf_counter()
+    result = fit_corpus(corpus, PARALLEL_HAWKES, rng=SEED, n_jobs=n_jobs)
+    return result, time.perf_counter() - start
+
+
+def test_bench_parallel_corpus_fit(benchmark, parallel_corpus, save_result):
+    corpus = parallel_corpus
+    serial, serial_elapsed = benchmark.pedantic(
+        _timed_fit, args=(corpus, 1), rounds=1, iterations=1)
+    assert len(serial.fits) == len(corpus)
+
+    rows = []
+    for n_jobs in JOB_COUNTS:
+        if n_jobs == 1:
+            result, elapsed = serial, serial_elapsed
+        else:
+            result, elapsed = _timed_fit(corpus, n_jobs)
+        speedup = serial_elapsed / elapsed
+        rows.append([
+            str(n_jobs), f"{elapsed:.2f}", f"{len(corpus) / elapsed:.2f}",
+            f"{speedup:.2f}x", f"{100 * speedup / n_jobs:.0f}%",
+        ])
+        # The determinism guarantee, on real corpus data: every worker
+        # count reproduces the serial fit exactly.
+        for fit_serial, fit_parallel in zip(serial.fits, result.fits):
+            assert np.array_equal(fit_serial.weights, fit_parallel.weights)
+            assert np.array_equal(fit_serial.background,
+                                  fit_parallel.background)
+
+    table = render_table(
+        ["Jobs", "Wall (s)", "URLs/s", "Speedup", "Efficiency"], rows,
+        title=f"fit_corpus, {len(corpus)} URLs, Gibbs "
+              f"{PARALLEL_HAWKES.gibbs_iterations} sweeps "
+              f"({os.cpu_count()} cores)")
+    save_result("parallel_corpus_scaling.txt", table)
+    print()
+    print(table)

@@ -40,6 +40,9 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--iterations", type=int, default=40,
                         help="Gibbs sweeps per URL")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (-1 = all cores); the "
+                             "result is identical for any value")
     return parser.parse_args()
 
 
@@ -63,7 +66,8 @@ def main() -> None:
                           gibbs_burn_in=max(5, args.iterations // 3))
     started = time.time()
     result = fit_corpus(corpus, config, method=args.method,
-                        rng=np.random.default_rng(args.seed))
+                        rng=np.random.default_rng(args.seed),
+                        n_jobs=args.jobs)
     print(f"fitted in {time.time() - started:.0f}s\n")
 
     summary = corpus_background_rates(result)

@@ -16,12 +16,24 @@ Quickstart::
     cascades = influence_cascades(data)
 """
 
-from . import analysis, collection, config, core, live, news, platforms, synthesis
+from . import (
+    analysis,
+    collection,
+    config,
+    core,
+    live,
+    news,
+    parallel,
+    platforms,
+    synthesis,
+)
 from .pipeline import (
     CollectedData,
     collect,
+    fit_influence,
     generate_and_collect,
     influence_cascades,
+    influence_corpus,
 )
 
 __version__ = "1.1.0"
@@ -33,11 +45,14 @@ __all__ = [
     "core",
     "live",
     "news",
+    "parallel",
     "platforms",
     "synthesis",
     "CollectedData",
     "collect",
+    "fit_influence",
     "generate_and_collect",
     "influence_cascades",
+    "influence_corpus",
     "__version__",
 ]

@@ -52,8 +52,9 @@ class SweepPoint:
 
 def _fit_point(label: str, cascades: Sequence[UrlCascade],
                config: HawkesConfig,
-               rng: np.random.Generator) -> SweepPoint:
-    result = fit_corpus(cascades, config, rng=rng)
+               rng: np.random.Generator,
+               n_jobs: int | None = 1) -> SweepPoint:
+    result = fit_corpus(cascades, config, rng=rng, n_jobs=n_jobs)
     alt = result.weight_stack(NewsCategory.ALTERNATIVE)
     main = result.weight_stack(NewsCategory.MAINSTREAM)
     return SweepPoint(
@@ -69,7 +70,8 @@ def _fit_point(label: str, cascades: Sequence[UrlCascade],
 def sweep_bin_size(cascades: Sequence[UrlCascade],
                    base: HawkesConfig,
                    bin_seconds: Sequence[int] = (30, 60, 300),
-                   seed: int = 0) -> list[SweepPoint]:
+                   seed: int = 0,
+                   n_jobs: int | None = 1) -> list[SweepPoint]:
     """Refit the corpus at several Delta t values.
 
     ``max_lag_bins`` is rescaled so the excitation window stays 12 h.
@@ -79,21 +81,24 @@ def sweep_bin_size(cascades: Sequence[UrlCascade],
         max_lag = int(base.max_lag_bins * base.delta_t / delta_t)
         config = replace(base, delta_t=delta_t, max_lag_bins=max_lag)
         rng = np.random.default_rng(seed)
-        points.append(_fit_point(f"dt={delta_t}s", cascades, config, rng))
+        points.append(_fit_point(f"dt={delta_t}s", cascades, config, rng,
+                                 n_jobs))
     return points
 
 
 def sweep_max_lag(cascades: Sequence[UrlCascade],
                   base: HawkesConfig,
                   lag_hours: Sequence[int] = (6, 12, 24, 48),
-                  seed: int = 0) -> list[SweepPoint]:
+                  seed: int = 0,
+                  n_jobs: int | None = 1) -> list[SweepPoint]:
     """Refit with different excitation windows (paper: 'similar')."""
     points = []
     for hours in lag_hours:
         config = replace(base,
                          max_lag_bins=int(hours * 3600 / base.delta_t))
         rng = np.random.default_rng(seed)
-        points.append(_fit_point(f"lag={hours}h", cascades, config, rng))
+        points.append(_fit_point(f"lag={hours}h", cascades, config, rng,
+                                 n_jobs))
     return points
 
 
@@ -101,14 +106,15 @@ def sweep_gap_trim(cascades: Sequence[UrlCascade],
                    gaps: Sequence[Interval],
                    base: HawkesConfig,
                    fractions: Sequence[float] = (0.0, 0.10, 0.20),
-                   seed: int = 0) -> list[SweepPoint]:
+                   seed: int = 0,
+                   n_jobs: int | None = 1) -> list[SweepPoint]:
     """Refit with different gap-overlap trim fractions."""
     points = []
     for fraction in fractions:
         kept = trim_gap_urls(list(cascades), gaps, fraction)
         rng = np.random.default_rng(seed)
         points.append(_fit_point(f"trim={int(fraction * 100)}%",
-                                 kept, base, rng))
+                                 kept, base, rng, n_jobs))
     return points
 
 
@@ -147,11 +153,13 @@ class EstimatorComparison:
 
 def estimator_agreement(cascades: Sequence[UrlCascade],
                         config: HawkesConfig,
-                        seed: int = 0) -> EstimatorComparison:
+                        seed: int = 0,
+                        n_jobs: int | None = 1) -> EstimatorComparison:
     """Fit the same URLs with Gibbs, discrete EM, and continuous EM."""
     rng = np.random.default_rng(seed)
-    gibbs = fit_corpus(cascades, config, method="gibbs", rng=rng)
-    em = fit_corpus(cascades, config, method="em")
+    gibbs = fit_corpus(cascades, config, method="gibbs", rng=rng,
+                       n_jobs=n_jobs)
+    em = fit_corpus(cascades, config, method="em", n_jobs=n_jobs)
     continuous_weights = []
     conv_rng = np.random.default_rng(seed + 1)
     for cascade in cascades:

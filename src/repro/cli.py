@@ -26,6 +26,13 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--reddit-users", type=int, default=1200)
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for Hawkes corpus fitting (-1 = all "
+             "cores); results are identical for any value")
+
+
 def _world_config(args: argparse.Namespace):
     from .synthesis import WorldConfig
     return WorldConfig(
@@ -87,7 +94,8 @@ def cmd_live(args: argparse.Namespace) -> int:
     if not args.skip_refit:
         refitter = WindowedHawkesRefitter(
             policy=RefitPolicy(every_records=args.refit_every,
-                               max_urls=args.refit_max_urls),
+                               max_urls=args.refit_max_urls,
+                               n_jobs=args.jobs),
             seed=args.seed)
     engine = LiveEngine(
         bus,
@@ -155,10 +163,8 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """Generate a world and run every paper-claim shape check."""
-    import numpy as np
-    from .config import HawkesConfig, TWITTER_GAPS
-    from .core import fit_corpus, select_urls, trim_gap_urls
-    from .pipeline import generate_and_collect, influence_cascades
+    from .config import HawkesConfig
+    from .pipeline import fit_influence, generate_and_collect
     from .validation import (
         summarize_checks,
         validate_collected,
@@ -167,11 +173,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
     data = generate_and_collect(_world_config(args))
     checks = validate_collected(data)
     if not args.skip_influence:
-        corpus = trim_gap_urls(select_urls(influence_cascades(data)),
-                               TWITTER_GAPS, 0.10)[:args.max_urls]
         config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
-        result = fit_corpus(corpus, config,
-                            rng=np.random.default_rng(args.seed))
+        result = fit_influence(data, config, rng=args.seed,
+                               max_urls=args.max_urls, n_jobs=args.jobs)
         checks.extend(validate_influence(result))
     print(summarize_checks(checks))
     return 0 if all(c.passed for c in checks) else 1
@@ -184,7 +188,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     data = generate_and_collect(_world_config(args))
     path = write_study_report(
         data, args.out, include_influence=not args.skip_influence,
-        max_urls=args.max_urls, seed=args.seed)
+        max_urls=args.max_urls, seed=args.seed, n_jobs=args.jobs)
     print(f"wrote {path}")
     return 0
 
@@ -223,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--skip-refit", action="store_true")
     live.add_argument("--refit-every", type=int, default=25000)
     live.add_argument("--refit-max-urls", type=int, default=50)
+    _add_jobs_arg(live)
     live.set_defaults(func=cmd_live)
 
     listing = sub.add_parser("list", help=cmd_list.__doc__)
@@ -237,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(validate)
     validate.add_argument("--skip-influence", action="store_true")
     validate.add_argument("--max-urls", type=int, default=150)
+    _add_jobs_arg(validate)
     validate.set_defaults(func=cmd_validate)
 
     report = sub.add_parser("report", help=cmd_report.__doc__)
@@ -244,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default="STUDY_REPORT.md")
     report.add_argument("--skip-influence", action="store_true")
     report.add_argument("--max-urls", type=int, default=120)
+    _add_jobs_arg(report)
     report.set_defaults(func=cmd_report)
 
     experiments = sub.add_parser("experiments",

@@ -9,6 +9,7 @@ quantities reported in Table 11 and Figures 10-11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterable, Literal, Sequence
 
 import numpy as np
@@ -20,6 +21,8 @@ from ..config import (
     SELECTED_SUBREDDITS,
 )
 from ..news.domains import NewsCategory
+from ..parallel import parallel_map, spawn_task_seeds
+from ..parallel.seeding import SeedLike
 from ..timeutil import Interval, in_any_interval
 from .events import DiscreteEvents, bin_timestamps
 from .hawkes.basis import LagBasis, LogBinnedLagBasis
@@ -71,6 +74,9 @@ class UrlFit:
     event_counts: np.ndarray      # (K,) observed events per process
     n_bins: int
     log_likelihood: float
+    #: Posterior W draws, (n_samples, K, K); None unless the corpus fit
+    #: was asked to keep them (they dominate the result's footprint).
+    weight_samples: np.ndarray | None = None
 
 
 @dataclass
@@ -152,18 +158,62 @@ def cascade_to_events(cascade: UrlCascade,
                           delta_t=delta_t)
 
 
+def _fit_one_url(task: tuple[UrlCascade, np.random.SeedSequence | None],
+                 *, config: HawkesConfig, method: FitMethod,
+                 processes: tuple[str, ...], basis: LagBasis,
+                 priors: Priors, keep_samples: bool) -> UrlFit:
+    """Fit a single cascade; module-level so it crosses process lines."""
+    cascade, seed = task
+    events = cascade_to_events(cascade, processes, config.delta_t)
+    if method == "gibbs":
+        result: FitResult = fit_gibbs(
+            events, config.max_lag_bins, basis=basis, priors=priors,
+            n_iterations=config.gibbs_iterations,
+            burn_in=config.gibbs_burn_in, rng=np.random.default_rng(seed),
+            keep_samples=keep_samples)
+    else:
+        result = fit_em(events, config.max_lag_bins, basis=basis,
+                        priors=priors)
+    return UrlFit(
+        url=cascade.url,
+        category=cascade.category,
+        background=result.params.background,
+        weights=result.params.weights,
+        event_counts=events.events_per_process(),
+        n_bins=events.n_bins,
+        log_likelihood=result.log_likelihood,
+        weight_samples=(result.weight_samples
+                        if keep_samples and method == "gibbs" else None),
+    )
+
+
 def fit_corpus(cascades: Sequence[UrlCascade],
                config: HawkesConfig | None = None,
                method: FitMethod = "gibbs",
                processes: Sequence[str] = HAWKES_PROCESSES,
                basis: LagBasis | None = None,
-               rng: np.random.Generator | None = None,
+               rng: SeedLike = None,
                progress: Callable[[int, int], None] | None = None,
+               n_jobs: int | None = 1,
+               chunk_size: int | None = None,
+               keep_samples: bool = False,
                ) -> InfluenceResult:
-    """Fit one Hawkes model per URL and collect the results."""
+    """Fit one Hawkes model per URL and collect the results.
+
+    Per-URL fits are independent, so the corpus fans out over
+    ``n_jobs`` worker processes (:func:`repro.parallel.parallel_map`);
+    ``n_jobs=1`` keeps everything in-process and ``-1`` uses every
+    core.  Each URL draws from its own random stream spawned from
+    ``rng`` and keyed by corpus position (task index), which makes the
+    result **bit-for-bit identical for every** ``n_jobs`` **and**
+    ``chunk_size`` — the property the ``tests/test_parallel_*`` suites
+    enforce.  ``rng`` accepts a ``Generator``, ``SeedSequence``,
+    integer seed, or ``None`` (fresh entropy).
+    """
     config = config or HawkesConfig()
-    rng = rng or np.random.default_rng()
     basis = basis or LogBinnedLagBasis(config.max_lag_bins)
+    if method not in ("gibbs", "em"):
+        raise ValueError(f"unknown fit method {method!r}")
     priors = Priors(
         background_shape=config.background_shape,
         background_rate=config.background_rate,
@@ -171,30 +221,17 @@ def fit_corpus(cascades: Sequence[UrlCascade],
         weight_rate=config.weight_rate,
         impulse_concentration=config.impulse_concentration,
     )
-    fits: list[UrlFit] = []
-    for i, cascade in enumerate(cascades):
-        events = cascade_to_events(cascade, processes, config.delta_t)
-        if method == "gibbs":
-            result: FitResult = fit_gibbs(
-                events, config.max_lag_bins, basis=basis, priors=priors,
-                n_iterations=config.gibbs_iterations,
-                burn_in=config.gibbs_burn_in, rng=rng, keep_samples=False)
-        elif method == "em":
-            result = fit_em(events, config.max_lag_bins, basis=basis,
-                            priors=priors)
-        else:
-            raise ValueError(f"unknown fit method {method!r}")
-        fits.append(UrlFit(
-            url=cascade.url,
-            category=cascade.category,
-            background=result.params.background,
-            weights=result.params.weights,
-            event_counts=events.events_per_process(),
-            n_bins=events.n_bins,
-            log_likelihood=result.log_likelihood,
-        ))
-        if progress is not None:
-            progress(i + 1, len(cascades))
+    if method == "gibbs":
+        seeds: Sequence[np.random.SeedSequence | None] = spawn_task_seeds(
+            rng, len(cascades))
+    else:  # EM is deterministic; don't advance the caller's seed state
+        seeds = [None] * len(cascades)
+    fit_one = partial(
+        _fit_one_url, config=config, method=method,
+        processes=tuple(processes), basis=basis, priors=priors,
+        keep_samples=keep_samples)
+    fits = parallel_map(fit_one, zip(cascades, seeds), n_jobs=n_jobs,
+                        chunk_size=chunk_size, progress=progress)
     return InfluenceResult(processes=tuple(processes), fits=fits)
 
 

@@ -41,6 +41,9 @@ class RefitPolicy:
     #: Fit method; EM is deterministic and much cheaper than Gibbs,
     #: which matters when refitting continuously.
     method: FitMethod = "em"
+    #: Worker processes per refit (see :mod:`repro.parallel`); results
+    #: are identical for any value, so this is purely a latency knob.
+    n_jobs: int = 1
 
 
 @dataclass
@@ -82,7 +85,7 @@ class WindowedHawkesRefitter:
             return None
         rng = np.random.default_rng(self.seed + self.n_refits)
         result = fit_corpus(corpus, self.config, method=self.policy.method,
-                            rng=rng)
+                            rng=rng, n_jobs=self.policy.n_jobs)
         self.last_result = result
         self.n_refits += 1
         return result

@@ -1,0 +1,35 @@
+"""Deterministic parallel execution for embarrassingly parallel maps.
+
+The corpus experiment fits one Hawkes model per URL — thousands of
+independent tasks — and every sweep/refit multiplies that.  This package
+provides the fan-out machinery all of them share:
+
+* :func:`parallel_map` — a process-pool map with chunked work-stealing
+  dispatch and ordered result reassembly, falling back to a plain
+  in-process loop for one job.
+* :func:`spawn_task_seeds` / :func:`as_seed_sequence` — per-task random
+  streams derived with :meth:`numpy.random.SeedSequence.spawn`, keyed by
+  task index so results are bit-for-bit identical no matter how many
+  workers run or how the tasks are chunked.
+
+The contract callers rely on (and tests enforce): for a pure task
+function, ``parallel_map(fn, items, n_jobs=k)`` equals
+``[fn(x) for x in items]`` for every ``k``.
+"""
+
+from .pool import (
+    auto_chunk_size,
+    iter_chunks,
+    parallel_map,
+    resolve_n_jobs,
+)
+from .seeding import as_seed_sequence, spawn_task_seeds
+
+__all__ = [
+    "auto_chunk_size",
+    "iter_chunks",
+    "parallel_map",
+    "resolve_n_jobs",
+    "as_seed_sequence",
+    "spawn_task_seeds",
+]

@@ -1,0 +1,63 @@
+"""Deterministic per-task seeding.
+
+A serial corpus fit that threads one generator through every URL can
+never be reproduced by a parallel one: the stream consumed by URL ``i``
+depends on how much randomness URLs ``0..i-1`` drew.  Instead, every
+task gets its own :class:`numpy.random.SeedSequence` spawned from a
+single root, keyed by task index via the spawn key.  Spawning happens
+once, in the calling process, before any dispatch — so the stream seen
+by task ``i`` depends only on the root seed and ``i``, never on worker
+count, chunking, or completion order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = (np.random.Generator | np.random.SeedSequence
+            | int | np.integer | None)
+
+
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Coerce the seeds callers already hold into a root ``SeedSequence``.
+
+    Accepts an integer entropy, an existing ``SeedSequence``, a
+    ``Generator`` (its bit generator's own seed sequence is reused, so
+    ``default_rng(s)`` and ``s`` derive identical task streams), or
+    ``None`` for fresh OS entropy.
+    """
+    if seed is None:
+        return np.random.SeedSequence()
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(int(seed))
+    if isinstance(seed, np.random.Generator):
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        if isinstance(seed_seq, np.random.SeedSequence):
+            return seed_seq
+        # Exotic bit generator without an inspectable seed sequence:
+        # derive entropy from the stream itself.
+        return np.random.SeedSequence(int(seed.integers(0, 2**63)))
+    raise TypeError(
+        f"cannot derive a SeedSequence from {type(seed).__name__}")
+
+
+def spawn_task_seeds(seed: SeedLike,
+                     n_tasks: int) -> list[np.random.SeedSequence]:
+    """Spawn one child seed per task, keyed by task index.
+
+    Child ``i`` carries spawn key ``(i,)`` appended to the root's, so
+    the derived stream is a pure function of ``(root, i)``: stable
+    across runs, identical for any worker count or chunk size, distinct
+    across tasks, and prefix-stable (the first ``m`` seeds of an
+    ``n``-task spawn equal an ``m``-task spawn from the same fresh
+    root).
+
+    Note that spawning advances the root's child counter: spawning
+    twice from the *same* ``SeedSequence`` object yields disjoint
+    seed sets, exactly like drawing twice from a shared generator.
+    """
+    if n_tasks < 0:
+        raise ValueError("n_tasks must be non-negative")
+    return as_seed_sequence(seed).spawn(n_tasks)

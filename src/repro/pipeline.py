@@ -23,13 +23,23 @@ from .collection import (
 )
 from .config import (
     HAWKES_PROCESSES,
+    HawkesConfig,
     PLATFORM_POL,
     PLATFORM_REDDIT,
     PLATFORM_TWITTER,
     SELECTED_SUBREDDITS,
+    TWITTER_GAPS,
 )
-from .core.influence import UrlCascade
+from .core.influence import (
+    FitMethod,
+    InfluenceResult,
+    UrlCascade,
+    fit_corpus,
+    select_urls,
+    trim_gap_urls,
+)
 from .news.domains import NewsCategory
+from .parallel.seeding import SeedLike
 from .synthesis.world import World, WorldConfig, build_world
 
 
@@ -139,3 +149,30 @@ def influence_cascades(data: CollectedData) -> list[UrlCascade]:
             events=events,
         ))
     return cascades
+
+
+def influence_corpus(data: CollectedData,
+                     gaps: tuple = TWITTER_GAPS,
+                     trim_fraction: float = 0.10,
+                     max_urls: int | None = None) -> list[UrlCascade]:
+    """Assemble, select, and gap-trim the Hawkes corpus (Section 5.2)."""
+    corpus = trim_gap_urls(select_urls(influence_cascades(data)),
+                           gaps, trim_fraction)
+    return corpus if max_urls is None else corpus[:max_urls]
+
+
+def fit_influence(data: CollectedData,
+                  config: HawkesConfig | None = None,
+                  method: FitMethod = "gibbs",
+                  rng: SeedLike = 0,
+                  max_urls: int | None = None,
+                  n_jobs: int | None = 1) -> InfluenceResult:
+    """Corpus selection + per-URL fitting in one call.
+
+    The standard entry point behind ``repro validate`` / ``repro
+    report``; ``n_jobs`` fans the per-URL fits out over worker
+    processes without changing the result (see :mod:`repro.parallel`).
+    """
+    corpus = influence_corpus(data, max_urls=max_urls)
+    return fit_corpus(corpus, config, method=method, rng=rng,
+                      n_jobs=n_jobs)

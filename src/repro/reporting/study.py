@@ -20,7 +20,6 @@ from ..config import (
     HawkesConfig,
     STUDY_END,
     STUDY_START,
-    TWITTER_GAPS,
 )
 from ..news.domains import NewsCategory
 from .tables import render_table
@@ -111,24 +110,18 @@ def _section_sequences(data) -> str:
     return "\n".join(parts) + "\n"
 
 
-def _section_influence(data, max_urls: int, seed: int) -> str:
-    from ..core import (
-        aggregate_weights,
-        fit_corpus,
-        influence_percentages,
-        select_urls,
-        trim_gap_urls,
-    )
-    from ..pipeline import influence_cascades
+def _section_influence(data, max_urls: int, seed: int,
+                       n_jobs: int = 1) -> str:
+    from ..core import aggregate_weights, fit_corpus, influence_percentages
+    from ..pipeline import influence_corpus
 
-    corpus = trim_gap_urls(select_urls(influence_cascades(data)),
-                           TWITTER_GAPS, 0.10)[:max_urls]
+    corpus = influence_corpus(data, max_urls=max_urls)
     if len(corpus) < 4:
         return ("## Influence estimation (Section 5)\n\n"
                 "*Too few URLs qualify for the Hawkes corpus.*\n")
     config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
     result = fit_corpus(corpus, config,
-                        rng=np.random.default_rng(seed))
+                        rng=np.random.default_rng(seed), n_jobs=n_jobs)
     parts = [f"## Influence estimation (Section 5, {len(corpus)} URLs)\n"]
     try:
         agg = aggregate_weights(result)
@@ -153,7 +146,8 @@ def _section_influence(data, max_urls: int, seed: int) -> str:
 
 
 def generate_study_report(data, include_influence: bool = True,
-                          max_urls: int = 120, seed: int = 0) -> str:
+                          max_urls: int = 120, seed: int = 0,
+                          n_jobs: int = 1) -> str:
     """Render the full study over one :class:`CollectedData`."""
     sections = [
         "# Web Centipede study report\n",
@@ -167,15 +161,16 @@ def generate_study_report(data, include_influence: bool = True,
         _section_sequences(data),
     ]
     if include_influence:
-        sections.append(_section_influence(data, max_urls, seed))
+        sections.append(_section_influence(data, max_urls, seed, n_jobs))
     return "\n".join(sections)
 
 
 def write_study_report(data, path: str | Path,
                        include_influence: bool = True,
-                       max_urls: int = 120, seed: int = 0) -> Path:
+                       max_urls: int = 120, seed: int = 0,
+                       n_jobs: int = 1) -> Path:
     path = Path(path)
     path.write_text(generate_study_report(
         data, include_influence=include_influence, max_urls=max_urls,
-        seed=seed), encoding="utf-8")
+        seed=seed, n_jobs=n_jobs), encoding="utf-8")
     return path

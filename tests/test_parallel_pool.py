@@ -1,0 +1,121 @@
+"""Tests for the process-pool map (repro.parallel.pool)."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    auto_chunk_size,
+    iter_chunks,
+    parallel_map,
+    resolve_n_jobs,
+)
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def variable_cost(x):
+    # Uneven per-task cost so chunks finish out of submission order.
+    total = 0
+    for _ in range((x % 5) * 2000):
+        total += 1
+    return x + total * 0
+
+
+class TestResolveNJobs:
+    def test_none_is_serial(self):
+        assert resolve_n_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(7) == 7
+
+    def test_all_cores(self):
+        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_all_but_one_floors_at_one(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_n_jobs(-2) == max(1, cpus - 1)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+
+class TestChunking:
+    def test_chunks_cover_all_indices(self):
+        spans = list(iter_chunks(10, 3))
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_empty(self):
+        assert list(iter_chunks(0, 4)) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(5, 0))
+
+    def test_auto_chunk_size_oversubscribes(self):
+        # 100 tasks over 2 workers -> several chunks per worker
+        size = auto_chunk_size(100, 2)
+        assert 1 <= size < 100 // 2
+        assert auto_chunk_size(0, 4) == 1
+        assert auto_chunk_size(3, 8) == 1
+
+
+class TestParallelMap:
+    def test_empty_input(self):
+        assert parallel_map(square, [], n_jobs=4) == []
+
+    def test_serial_matches_list_comprehension(self):
+        items = list(range(20))
+        assert parallel_map(square, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3])
+    def test_parallel_preserves_order(self, n_jobs, chunk_size):
+        items = list(range(23))
+        result = parallel_map(variable_cost, items, n_jobs=n_jobs,
+                              chunk_size=chunk_size)
+        assert result == items
+
+    def test_more_jobs_than_items(self):
+        assert parallel_map(square, [2, 3], n_jobs=16) == [4, 9]
+
+    def test_serial_path_accepts_closures(self):
+        # n_jobs=1 never pickles, so unpicklable callables are fine.
+        seen = []
+
+        def record(x):
+            seen.append(x)
+            return x
+
+        assert parallel_map(record, [1, 2, 3], n_jobs=1) == [1, 2, 3]
+        assert seen == [1, 2, 3]
+
+    def test_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(fail_on_three, [1, 2, 3, 4], n_jobs=1)
+
+    def test_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(fail_on_three, list(range(8)), n_jobs=2,
+                         chunk_size=2)
+
+    @pytest.mark.parametrize("n_jobs,chunk_size", [(1, None), (2, 2)])
+    def test_progress_monotone_and_complete(self, n_jobs, chunk_size):
+        calls = []
+        items = list(range(9))
+        parallel_map(square, items, n_jobs=n_jobs, chunk_size=chunk_size,
+                     progress=lambda done, total: calls.append((done, total)))
+        dones = [d for d, _ in calls]
+        assert dones == sorted(dones)
+        assert calls[-1] == (9, 9)
+        assert all(t == 9 for _, t in calls)
