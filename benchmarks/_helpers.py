@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.analysis import characterization as chz
@@ -9,6 +10,43 @@ from repro.news.domains import NewsCategory
 from repro.reporting import render_table
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record_ops(registry: dict, name: str, benchmark) -> None:
+    """Record a benchmark's throughput (ops/sec) into ``registry``.
+
+    Tolerates runs where timing is disabled (``--benchmark-disable`` or
+    plain test collection): entries are simply not recorded.
+    """
+    meta = getattr(benchmark, "stats", None)
+    stats = getattr(meta, "stats", None)
+    mean = getattr(stats, "mean", None)
+    if mean:
+        registry[name] = {
+            "ops_per_sec": 1.0 / mean,
+            "mean_seconds": mean,
+            "rounds": getattr(stats, "rounds", None),
+        }
+
+
+def write_bench_json(registry: dict, filename: str,
+                     case: dict | None = None) -> Path | None:
+    """Write machine-readable benchmark throughput to ``results/``.
+
+    Shape: ``{"case": {...}, "benchmarks": {name: {ops_per_sec, ...}}}``
+    — ``case`` records the workload parameters (sizes, sweep counts,
+    smoke flag) so numbers from different modes are never compared as
+    if they measured the same work.  Returns the path written, or
+    ``None`` when nothing was recorded (e.g. benchmarking disabled).
+    """
+    if not registry:
+        return None
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    payload = {"case": case or {}, "benchmarks": registry}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def render_top_domains(dataset, title: str) -> tuple[str, list, list]:

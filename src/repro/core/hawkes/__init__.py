@@ -10,11 +10,13 @@ Submodules
 ----------
 ``model``       parameters, rate computation, log-likelihood
 ``basis``       lag-PMF parameterizations (full Dirichlet, log-binned)
+``kernels``     flat segment-wise array kernels shared by all of the above
 ``simulation``  exact branching sampler and a stepwise cross-check sampler
 ``inference``   Gibbs sampler with conjugate updates, plus an EM fitter
 """
 
 from .basis import DirichletLagBasis, LagBasis, LogBinnedLagBasis
+from .kernels import ParentStructure, get_parent_structure
 from .model import HawkesParams, discrete_log_likelihood, expected_rate
 from .simulation import simulate_branching, simulate_stepwise
 from .inference import FitResult, fit_em, fit_gibbs
@@ -23,6 +25,8 @@ __all__ = [
     "DirichletLagBasis",
     "LagBasis",
     "LogBinnedLagBasis",
+    "ParentStructure",
+    "get_parent_structure",
     "HawkesParams",
     "discrete_log_likelihood",
     "expected_rate",

@@ -222,11 +222,11 @@ def discrete_events_to_continuous(events, delta_t: float = 60.0,
                                   ) -> EventList:
     """Convert binned events to continuous times (uniform within bins)."""
     rng = rng or np.random.default_rng()
-    pairs = []
-    for m in range(len(events)):
-        base = float(events.bins[m]) * delta_t
-        for _ in range(int(events.counts[m])):
-            pairs.append((base + rng.uniform(0, delta_t),
-                          int(events.processes[m])))
-    return EventList.from_pairs(pairs, horizon=events.n_bins * delta_t,
-                                n_processes=events.n_processes)
+    base = np.repeat(events.bins.astype(np.float64) * delta_t,
+                     events.counts)
+    procs = np.repeat(events.processes.astype(np.int64), events.counts)
+    times = base + rng.uniform(0, delta_t, size=len(base))
+    order = np.argsort(times, kind="stable")
+    return EventList(times=times[order], processes=procs[order],
+                     horizon=float(events.n_bins * delta_t),
+                     n_processes=events.n_processes)

@@ -183,7 +183,7 @@ def residual_uniformity(params: HawkesParams, events: DiscreteEvents,
     rng = rng or np.random.default_rng()
     if not len(events):
         raise ValueError("need events for residual analysis")
-    residuals: list[float] = []
+    parts: list[np.ndarray] = []
     all_bins = np.arange(events.n_bins)
     rates = expected_rate(params, events, query_bins=all_bins)
     dense = events.to_dense()
@@ -191,15 +191,19 @@ def residual_uniformity(params: HawkesParams, events: DiscreteEvents,
         rate_k = rates[:, k]
         cum = np.concatenate([[0.0], np.cumsum(rate_k)])
         event_bins = np.nonzero(dense[:, k])[0]
-        previous = 0.0
-        for t in event_bins:
-            for _ in range(int(dense[t, k])):
-                # integrated intensity up to a uniform point in the bin
-                total = cum[t] + rate_k[t] * rng.uniform()
-                gap = total - previous
-                previous = total
-                if gap > 0:
-                    residuals.append(1.0 - np.exp(-gap))
+        reps = dense[event_bins, k]
+        n_events_k = int(reps.sum())
+        if not n_events_k:
+            continue
+        # integrated intensity up to a uniform point in each event's bin
+        totals = (np.repeat(cum[event_bins], reps)
+                  + np.repeat(rate_k[event_bins], reps)
+                  * rng.uniform(size=n_events_k))
+        gaps = np.diff(totals, prepend=0.0)
+        positive = gaps > 0
+        if positive.any():
+            parts.append(1.0 - np.exp(-gaps[positive]))
+    residuals = np.concatenate(parts) if parts else np.empty(0)
     if len(residuals) < 5:
         return 1.0
     result = _scipy_stats.kstest(residuals, "uniform")

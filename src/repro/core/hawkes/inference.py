@@ -10,6 +10,15 @@ Two fitters with the same interface:
 * :func:`fit_em` — expectation-maximization on the identical latent
   structure, with MAP updates under the same priors.  Deterministic and
   faster; used as an independent cross-check of the sampler.
+
+Both fitters run on the flat segment kernels of :mod:`.kernels`: parent
+candidates are enumerated once per ``(events, basis)`` (and cached on
+the events object), Gibbs attribution is a single bulk uniform pass per
+sweep, and every responsibility/exposure accumulation is a vectorized
+scatter-add.  EM is bit-identical to the historical per-event loops;
+the Gibbs sampler keeps seed-determinism but draws its randomness in a
+different order than the historical per-event ``multinomial`` sampler
+(the sampled distribution is unchanged).
 """
 
 from __future__ import annotations
@@ -20,7 +29,12 @@ import numpy as np
 
 from ..events import DiscreteEvents
 from .basis import LagBasis, LogBinnedLagBasis
+from .kernels import ParentStructure, get_parent_structure, \
+    sample_parent_attributions
 from .model import HawkesParams, discrete_log_likelihood
+
+#: Backwards-compatible alias; the class moved to :mod:`.kernels`.
+_ParentStructure = ParentStructure
 
 
 @dataclass(frozen=True)
@@ -60,80 +74,6 @@ class FitResult:
         return self.params.weights
 
 
-class _ParentStructure:
-    """Precomputed candidate-parent arrays for each event entry.
-
-    For entry ``m`` (bin ``t``, process ``k``, count ``c``) the candidate
-    parents are every earlier entry within ``max_lag`` bins.  We cache,
-    per entry: source process indices, lags, source counts, and the
-    bucket index of each lag under the chosen basis.
-    """
-
-    def __init__(self, events: DiscreteEvents, basis: LagBasis) -> None:
-        self.events = events
-        self.basis = basis
-        ev_bins = events.bins
-        self.cand_src: list[np.ndarray] = []
-        self.cand_lag: list[np.ndarray] = []
-        self.cand_cnt: list[np.ndarray] = []
-        self.cand_bucket: list[np.ndarray] = []
-        for m in range(len(events)):
-            t = int(ev_bins[m])
-            lo = np.searchsorted(ev_bins, t - basis.max_lag, side="left")
-            hi = np.searchsorted(ev_bins, t, side="left")
-            idx = np.arange(lo, hi)
-            lags = (t - ev_bins[idx]).astype(np.int64)
-            self.cand_src.append(events.processes[idx].astype(np.int64))
-            self.cand_lag.append(lags)
-            self.cand_cnt.append(events.counts[idx].astype(np.float64))
-            self.cand_bucket.append(basis.bucket_of[lags - 1])
-        # Flattened views for vectorized probability computation: the
-        # candidate weights of all events are evaluated in one numpy
-        # pass per sweep, then sliced per event at ``offsets``.
-        sizes = [len(src) for src in self.cand_src]
-        self.offsets = np.concatenate([[0], np.cumsum(sizes)])
-        if self.offsets[-1]:
-            self.flat_src = np.concatenate(self.cand_src)
-            self.flat_lag = np.concatenate(self.cand_lag)
-            self.flat_cnt = np.concatenate(self.cand_cnt)
-            self.flat_bucket = np.concatenate(self.cand_bucket)
-            self.flat_dst = np.repeat(
-                events.processes.astype(np.int64), sizes)
-        else:
-            self.flat_src = np.empty(0, dtype=np.int64)
-            self.flat_lag = np.empty(0, dtype=np.int64)
-            self.flat_cnt = np.empty(0, dtype=np.float64)
-            self.flat_bucket = np.empty(0, dtype=np.int64)
-            self.flat_dst = np.empty(0, dtype=np.int64)
-
-    def all_candidate_values(self, weights: np.ndarray,
-                             lag_pmf: np.ndarray) -> np.ndarray:
-        """Unnormalized parent weights for every candidate, flattened."""
-        if not len(self.flat_src):
-            return np.empty(0, dtype=np.float64)
-        return (self.flat_cnt
-                * weights[self.flat_src, self.flat_dst]
-                * lag_pmf[self.flat_src, self.flat_dst,
-                          self.flat_lag - 1])
-
-    def exposure(self, lag_cdf: np.ndarray) -> np.ndarray:
-        """Truncated exposure ``E[i, j]``: opportunities for events on ``i``
-        to parent events on ``j``, given the current lag CDF ``(K, K, D)``.
-        """
-        events = self.events
-        k_procs = events.n_processes
-        out = np.zeros((k_procs, k_procs))
-        remaining = events.n_bins - 1 - events.bins
-        capped = np.minimum(remaining, self.basis.max_lag)
-        for m in range(len(events)):
-            cap = int(capped[m])
-            if cap <= 0:
-                continue
-            src = int(events.processes[m])
-            out[src, :] += events.counts[m] * lag_cdf[src, :, cap - 1]
-        return out
-
-
 def _initial_state(events: DiscreteEvents, basis: LagBasis, priors: Priors,
                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Heuristic initialization: prior means, weights seeded from data."""
@@ -148,26 +88,6 @@ def _initial_state(events: DiscreteEvents, basis: LagBasis, priors: Priors,
     buckets = np.full((k_procs, k_procs, basis.n_buckets),
                       1.0 / basis.n_buckets)
     return background, weights, buckets
-
-
-def _attribution_probs(m: int, structure: _ParentStructure,
-                       background: np.ndarray, weights: np.ndarray,
-                       lag_pmf: np.ndarray) -> np.ndarray:
-    """Unnormalized parent probabilities for entry ``m``.
-
-    Index 0 is the background; indices ``1..`` align with the candidate
-    arrays of ``structure``.
-    """
-    events = structure.events
-    dst = int(events.processes[m])
-    src = structure.cand_src[m]
-    lag = structure.cand_lag[m]
-    cnt = structure.cand_cnt[m]
-    vals = cnt * weights[src, dst] * lag_pmf[src, dst, lag - 1]
-    probs = np.empty(len(vals) + 1)
-    probs[0] = background[dst]
-    probs[1:] = vals
-    return probs
 
 
 def fit_gibbs(events: DiscreteEvents, max_lag: int,
@@ -189,7 +109,7 @@ def fit_gibbs(events: DiscreteEvents, max_lag: int,
     if basis.max_lag != max_lag:
         raise ValueError("basis.max_lag must equal max_lag")
     k_procs = events.n_processes
-    structure = _ParentStructure(events, basis)
+    structure = get_parent_structure(events, basis)
     background, weights, buckets = _initial_state(events, basis, priors)
 
     kept_bg: list[np.ndarray] = []
@@ -198,27 +118,11 @@ def fit_gibbs(events: DiscreteEvents, max_lag: int,
     for sweep in range(n_iterations):
         lag_pmf = basis.expand(buckets)
         # -- parent attribution ------------------------------------------
-        z_background = np.zeros(k_procs)
+        flat_vals = structure.all_candidate_values(weights, lag_pmf)
+        z_background, flat_draws = sample_parent_attributions(
+            structure, background, flat_vals, rng)
         z_weight = np.zeros((k_procs, k_procs))
         z_bucket = np.zeros((k_procs, k_procs, basis.n_buckets))
-        flat_vals = structure.all_candidate_values(weights, lag_pmf)
-        flat_draws = np.zeros(len(flat_vals))
-        offsets = structure.offsets
-        for m in range(len(events)):
-            vals = flat_vals[offsets[m]:offsets[m + 1]]
-            count = int(events.counts[m])
-            dst = int(events.processes[m])
-            total = background[dst] + vals.sum()
-            if total <= 0:
-                z_background[dst] += count
-                continue
-            probs = np.empty(len(vals) + 1)
-            probs[0] = background[dst]
-            probs[1:] = vals
-            draws = rng.multinomial(count, probs / total)
-            z_background[dst] += draws[0]
-            if len(draws) > 1 and draws[1:].any():
-                flat_draws[offsets[m]:offsets[m + 1]] = draws[1:]
         if len(flat_draws):
             np.add.at(z_weight, (structure.flat_src, structure.flat_dst),
                       flat_draws)
@@ -269,9 +173,11 @@ def fit_em(events: DiscreteEvents, max_lag: int,
     if basis.max_lag != max_lag:
         raise ValueError("basis.max_lag must equal max_lag")
     k_procs = events.n_processes
-    structure = _ParentStructure(events, basis)
+    structure = get_parent_structure(events, basis)
     background, weights, buckets = _initial_state(events, basis, priors)
 
+    counts = events.counts.astype(np.float64)
+    dst_all = events.processes.astype(np.int64)
     previous_ll = -np.inf
     iterations_run = 0
     for iteration in range(max_iterations):
@@ -279,16 +185,8 @@ def fit_em(events: DiscreteEvents, max_lag: int,
         lag_pmf = basis.expand(buckets)
         z_background = np.zeros(k_procs)
         flat_vals = structure.all_candidate_values(weights, lag_pmf)
-        offsets = structure.offsets
-        counts = events.counts.astype(np.float64)
-        dst_all = events.processes.astype(np.int64)
         # per-event totals (background + candidate mass), fully vectorized
-        if len(flat_vals):
-            seg_sums = np.add.reduceat(
-                np.concatenate([flat_vals, [0.0]]), offsets[:-1])
-            seg_sums[offsets[:-1] == offsets[1:]] = 0.0
-        else:
-            seg_sums = np.zeros(len(events))
+        seg_sums = structure.segment_sums(flat_vals)
         totals = background[dst_all] + seg_sums
         safe = totals > 0
         bg_resp = np.where(safe, counts * background[dst_all]
@@ -299,8 +197,7 @@ def fit_em(events: DiscreteEvents, max_lag: int,
         if len(flat_vals):
             scale = np.where(safe, counts / np.where(safe, totals, 1.0),
                              0.0)
-            flat_resp = flat_vals * np.repeat(
-                scale, np.diff(offsets))
+            flat_resp = flat_vals * np.repeat(scale, structure.sizes)
             np.add.at(z_weight, (structure.flat_src, structure.flat_dst),
                       flat_resp)
             np.add.at(z_bucket,

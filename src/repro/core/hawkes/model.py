@@ -8,6 +8,11 @@ The rate of process ``k`` in bin ``t`` is
 where ``s`` is the count matrix, ``W[k', k]`` the expected number of
 child events on ``k`` per event on ``k'``, and ``G[k', k]`` a PMF over
 lags ``1..D`` (Section 5.1).
+
+Rate and likelihood evaluation run on the flat segment kernels of
+:mod:`.kernels`; accumulation preserves the event-order floating-point
+associativity of a reference loop, so values are bit-identical to a
+naive per-event implementation.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import numpy as np
 from scipy.special import gammaln
 
 from ..events import DiscreteEvents
+from . import kernels
 
 _PMF_TOL = 1e-6
 
@@ -84,27 +90,25 @@ def expected_rate(params: HawkesParams, events: DiscreteEvents,
 
     Returns an ``(n_query, K)`` array.  ``query_bins`` defaults to the
     occupied bins of ``events`` (deduplicated, sorted).  Computation is
-    sparse in the events, so month-long URL matrices stay cheap.
+    sparse in the events, so month-long URL matrices stay cheap; the
+    default-grid gather structure is cached on ``events``.
     """
     if events.n_processes != params.n_processes:
         raise ValueError("event matrix and params disagree on K")
     if query_bins is None:
-        query_bins = np.unique(events.bins)
-    query_bins = np.asarray(query_bins, dtype=np.int64)
-    k_procs = params.n_processes
-    max_lag = params.max_lag
-    kernel = params.branching_kernel()  # (K, K, D)
-    rates = np.tile(params.background, (len(query_bins), 1))
+        structure = kernels.get_query_structure(events, params.max_lag)
+        n_query = structure.n_queries
+    else:
+        query_bins = np.asarray(query_bins, dtype=np.int64)
+        structure = None
+        n_query = len(query_bins)
+    rates = np.tile(params.background, (n_query, 1))
     if not len(events):
         return rates
-    ev_bins = events.bins
-    for qi, t in enumerate(query_bins):
-        lo = np.searchsorted(ev_bins, t - max_lag, side="left")
-        hi = np.searchsorted(ev_bins, t, side="left")
-        for m in range(lo, hi):
-            lag = int(t - ev_bins[m])  # 1..max_lag
-            src = int(events.processes[m])
-            rates[qi, :] += events.counts[m] * kernel[src, :, lag - 1]
+    if structure is None:
+        structure = kernels.QueryStructure(events, query_bins,
+                                           params.max_lag)
+    structure.add_rates(rates, params.branching_kernel())
     return rates
 
 
@@ -119,16 +123,8 @@ def rate_integral(params: HawkesParams, events: DiscreteEvents) -> np.ndarray:
     if not len(events):
         return total
     cdf = np.cumsum(params.impulse, axis=2)  # (K, K, D)
-    remaining = events.n_bins - 1 - events.bins  # bins available after event
-    capped = np.minimum(remaining, params.max_lag)
-    for m in range(len(events)):
-        cap = int(capped[m])
-        if cap <= 0:
-            continue
-        src = int(events.processes[m])
-        total += (events.counts[m] * params.weights[src, :]
-                  * cdf[src, :, cap - 1])
-    return total
+    return kernels.truncated_kernel_mass(events, params.weights, cdf,
+                                         params.max_lag, init=total)
 
 
 def discrete_log_likelihood(params: HawkesParams,
@@ -143,13 +139,11 @@ def discrete_log_likelihood(params: HawkesParams,
     if not len(events):
         return -integral
     rates = expected_rate(params, events)
-    uniq = np.unique(events.bins)
-    row_of = {int(t): i for i, t in enumerate(uniq)}
-    log_term = 0.0
-    for m in range(len(events)):
-        lam = rates[row_of[int(events.bins[m])], int(events.processes[m])]
-        if lam <= 0:
-            return -np.inf
-        count = int(events.counts[m])
-        log_term += count * np.log(lam) - float(gammaln(count + 1))
+    rows = np.searchsorted(kernels.unique_bins(events), events.bins)
+    lams = rates[rows, events.processes]
+    if np.any(lams <= 0):
+        return -np.inf
+    counts = events.counts.astype(np.float64)
+    terms = counts * np.log(lams) - gammaln(counts + 1)
+    log_term = float(np.cumsum(terms)[-1])
     return log_term - integral

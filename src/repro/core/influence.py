@@ -9,7 +9,7 @@ quantities reported in Table 11 and Figures 10-11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import partial
+from functools import lru_cache, partial
 from typing import Callable, Iterable, Literal, Sequence
 
 import numpy as np
@@ -147,10 +147,8 @@ def trim_gap_urls(cascades: Sequence[UrlCascade], gaps: Sequence[Interval],
 # Fitting
 # ---------------------------------------------------------------------------
 
-def cascade_to_events(cascade: UrlCascade,
-                      processes: Sequence[str] = HAWKES_PROCESSES,
-                      delta_t: float = 60.0) -> DiscreteEvents:
-    """Bin a cascade into the per-URL count matrix of Section 5.2."""
+def _build_cascade_events(cascade: UrlCascade, processes: tuple[str, ...],
+                          delta_t: float) -> DiscreteEvents:
     index = {name: i for i, name in enumerate(processes)}
     timestamps = [t for t, _ in cascade.events]
     procs = [index[name] for _, name in cascade.events]
@@ -158,13 +156,37 @@ def cascade_to_events(cascade: UrlCascade,
                           delta_t=delta_t)
 
 
+_cascade_events_memo = lru_cache(maxsize=128)(_build_cascade_events)
+
+
+def cascade_to_events(cascade: UrlCascade,
+                      processes: Sequence[str] = HAWKES_PROCESSES,
+                      delta_t: float = 60.0,
+                      memoize: bool = False) -> DiscreteEvents:
+    """Bin a cascade into the per-URL count matrix of Section 5.2.
+
+    With ``memoize=True`` the result is cached by cascade content
+    (cascades are frozen): a window refit that sees the same URL again
+    gets the same events object back, so the kernel structures cached
+    on it (:mod:`repro.core.hawkes.kernels`) are reused instead of
+    rebuilt.  Retention is bounded by the LRU (128 entries; windows
+    larger than that cycle without reuse).  Batch corpus fits touch
+    each URL once, so they default to the unmemoized path and retain
+    nothing.
+    """
+    builder = _cascade_events_memo if memoize else _build_cascade_events
+    return builder(cascade, tuple(processes), float(delta_t))
+
+
 def _fit_one_url(task: tuple[UrlCascade, np.random.SeedSequence | None],
                  *, config: HawkesConfig, method: FitMethod,
                  processes: tuple[str, ...], basis: LagBasis,
-                 priors: Priors, keep_samples: bool) -> UrlFit:
+                 priors: Priors, keep_samples: bool,
+                 memoize_events: bool) -> UrlFit:
     """Fit a single cascade; module-level so it crosses process lines."""
     cascade, seed = task
-    events = cascade_to_events(cascade, processes, config.delta_t)
+    events = cascade_to_events(cascade, processes, config.delta_t,
+                               memoize=memoize_events)
     if method == "gibbs":
         result: FitResult = fit_gibbs(
             events, config.max_lag_bins, basis=basis, priors=priors,
@@ -197,6 +219,7 @@ def fit_corpus(cascades: Sequence[UrlCascade],
                n_jobs: int | None = 1,
                chunk_size: int | None = None,
                keep_samples: bool = False,
+               memoize_events: bool = False,
                ) -> InfluenceResult:
     """Fit one Hawkes model per URL and collect the results.
 
@@ -208,7 +231,10 @@ def fit_corpus(cascades: Sequence[UrlCascade],
     result **bit-for-bit identical for every** ``n_jobs`` **and**
     ``chunk_size`` — the property the ``tests/test_parallel_*`` suites
     enforce.  ``rng`` accepts a ``Generator``, ``SeedSequence``,
-    integer seed, or ``None`` (fresh entropy).
+    integer seed, or ``None`` (fresh entropy).  ``memoize_events=True``
+    reuses binned event matrices (and their kernel caches) across calls
+    that see the same cascades — the live refitter's sliding window —
+    at the cost of LRU retention; one-shot corpus fits leave it off.
     """
     config = config or HawkesConfig()
     basis = basis or LogBinnedLagBasis(config.max_lag_bins)
@@ -229,7 +255,7 @@ def fit_corpus(cascades: Sequence[UrlCascade],
     fit_one = partial(
         _fit_one_url, config=config, method=method,
         processes=tuple(processes), basis=basis, priors=priors,
-        keep_samples=keep_samples)
+        keep_samples=keep_samples, memoize_events=memoize_events)
     fits = parallel_map(fit_one, zip(cascades, seeds), n_jobs=n_jobs,
                         chunk_size=chunk_size, progress=progress)
     return InfluenceResult(processes=tuple(processes), fits=fits)

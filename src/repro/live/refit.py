@@ -84,8 +84,13 @@ class WindowedHawkesRefitter:
         if not corpus:
             return None
         rng = np.random.default_rng(self.seed + self.n_refits)
+        # Overlapping windows refit the same settled cascades; memoized
+        # event binning lets their kernel structures carry over.  Worker
+        # pools are rebuilt per refit, so the memo only survives (and is
+        # only requested) on the in-process n_jobs=1 path.
         result = fit_corpus(corpus, self.config, method=self.policy.method,
-                            rng=rng, n_jobs=self.policy.n_jobs)
+                            rng=rng, n_jobs=self.policy.n_jobs,
+                            memoize_events=self.policy.n_jobs == 1)
         self.last_result = result
         self.n_refits += 1
         return result

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.events import DiscreteEvents
 from repro.core.hawkes.basis import DirichletLagBasis
-from repro.core.hawkes.inference import _ParentStructure, _attribution_probs
+from repro.core.hawkes.inference import _ParentStructure
 from repro.platforms.base import IdAllocator
 from repro.news.domains import NewsCategory
 
@@ -48,12 +48,15 @@ class TestFlattenedParentStructure:
         weights = rng.uniform(0.01, 0.5, (k, k))
         lag_pmf = np.tile(rng.dirichlet(np.ones(10)), (k, k, 1))
         flat = structure.all_candidate_values(weights, lag_pmf)
-        background = np.array([0.01, 0.02])
-        for m in range(len(structure.events)):
-            probs = _attribution_probs(m, structure, background, weights,
-                                       lag_pmf)
+        events = structure.events
+        for m in range(len(events)):
+            dst = int(events.processes[m])
+            src = structure.cand_src[m]
+            lag = structure.cand_lag[m]
+            cnt = structure.cand_cnt[m]
+            vals = cnt * weights[src, dst] * lag_pmf[src, dst, lag - 1]
             lo, hi = structure.offsets[m], structure.offsets[m + 1]
-            assert np.allclose(probs[1:], flat[lo:hi])
+            assert np.allclose(vals, flat[lo:hi])
 
     def test_empty_events(self):
         events = DiscreteEvents.from_pairs([], n_bins=10, n_processes=2)

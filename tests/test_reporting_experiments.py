@@ -47,8 +47,10 @@ class TestGenerateMarkdown:
 
     def test_uses_real_results_when_present(self):
         results = Path("results")
-        if not results.exists():
-            pytest.skip("results/ not generated")
+        # The dir may hold only machine-readable benchmark JSON (e.g.
+        # BENCH_core_fitters.json); rendered artifacts are .txt files.
+        if not any(results.glob("*.txt")):
+            pytest.skip("results/ artifacts not generated")
         text = generate_markdown(results)
         # at least some artifacts should be embedded
         assert text.count("```") >= 4
