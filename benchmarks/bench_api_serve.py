@@ -1,0 +1,155 @@
+"""API/service benchmark: artifact-cache latency and HTTP throughput.
+
+Two claims back the `repro.api` design:
+
+- the artifact cache turns repeat queries into lookups: a warm
+  ``table()``/``influence()`` call must be >= 10x faster than the cold
+  compute (the PR's acceptance bar, asserted below even in smoke mode);
+- the HTTP service serves warm results at interactive rates, and
+  conditional requests (ETag / 304) cost even less because they never
+  build a body.
+
+``BENCH_SMOKE=1`` shrinks the world and sweep counts for CI.  Numbers
+land in ``results/BENCH_api_serve.json``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import threading
+import time
+
+from repro.api import Study, StudyService
+from repro.config import HawkesConfig
+from repro.synthesis.world import WorldConfig
+
+from _helpers import record_ops, write_bench_json
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+CONFIG = WorldConfig(
+    seed=13,
+    n_stories_alternative=60 if SMOKE else 400,
+    n_stories_mainstream=150 if SMOKE else 1100,
+    n_twitter_users=80 if SMOKE else 500,
+    n_reddit_users=70 if SMOKE else 400,
+    n_generic_subreddits=20 if SMOKE else 80,
+)
+HAWKES = HawkesConfig(gibbs_iterations=10 if SMOKE else 40,
+                      gibbs_burn_in=3 if SMOKE else 15)
+MAX_URLS = 6 if SMOKE else 24
+N_REQUESTS = 150 if SMOKE else 1200
+WARM_ROUNDS = 50
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _warm_seconds(fn, rounds: int = WARM_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        _, elapsed = _timed(fn)
+        best = min(best, elapsed)
+    return best
+
+
+def test_bench_api_cold_vs_warm(benchmark, tmp_path_factory):
+    registry: dict = {}
+    cache = tmp_path_factory.mktemp("api_cache")
+    study = Study(world=CONFIG, hawkes=HAWKES, fit_seed=7,
+                  max_urls=MAX_URLS, cache_dir=cache)
+
+    _, cold_table = _timed(lambda: study.table(4))       # world+data+table
+    _, cold_influence = _timed(study.influence)          # corpus+fits
+    warm_table = _warm_seconds(lambda: study.table(4))
+    warm_influence = _warm_seconds(study.influence)
+
+    # Fresh session, same cache dir: warm from disk, zero recompute.
+    fresh = Study(world=CONFIG, hawkes=HAWKES, fit_seed=7,
+                  max_urls=MAX_URLS, cache_dir=cache)
+    _, disk_table = _timed(lambda: fresh.table(4))
+    _, disk_influence = _timed(fresh.influence)
+    assert fresh.stats["computed"] == 0
+
+    # The acceptance bar: warm queries skip recomputation entirely.
+    assert warm_table * 10 <= cold_table
+    assert warm_influence * 10 <= cold_influence
+    assert disk_table * 10 <= cold_table
+    assert disk_influence * 10 <= cold_influence
+
+    benchmark(lambda: study.table(4))
+    record_ops(registry, "warm_table_memo", benchmark)
+    registry["artifact_latency"] = {
+        "cold_table_seconds": cold_table,
+        "warm_table_seconds": warm_table,
+        "disk_table_seconds": disk_table,
+        "table_speedup": cold_table / warm_table,
+        "cold_influence_seconds": cold_influence,
+        "warm_influence_seconds": warm_influence,
+        "disk_influence_seconds": disk_influence,
+        "influence_speedup": cold_influence / warm_influence,
+    }
+
+    registry["http"] = _measure_http(study)
+    write_bench_json(registry, "BENCH_api_serve.json", case={
+        "smoke": SMOKE,
+        "max_urls": MAX_URLS,
+        "gibbs_iterations": HAWKES.gibbs_iterations,
+        "n_requests": N_REQUESTS,
+    })
+    print()
+    print(f"cold table {cold_table:.3f}s -> warm {warm_table * 1e6:.0f}us "
+          f"({cold_table / warm_table:.0f}x); "
+          f"cold influence {cold_influence:.3f}s -> warm "
+          f"{warm_influence * 1e6:.0f}us "
+          f"({cold_influence / warm_influence:.0f}x)")
+    print(f"HTTP: {registry['http']['table_requests_per_sec']:.0f} req/s "
+          f"warm, {registry['http']['conditional_requests_per_sec']:.0f} "
+          "req/s conditional (304)")
+
+
+def _measure_http(study) -> dict:
+    service = StudyService(study, port=0)
+    thread = threading.Thread(target=service.serve_forever, daemon=True)
+    thread.start()
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=30)
+        try:
+            def fetch(path, headers=None):
+                conn.request("GET", path, headers=headers or {})
+                response = conn.getresponse()
+                return response.status, response.getheader("ETag"), \
+                    response.read()
+
+            status, etag, first = fetch("/tables/4")     # warm the body cache
+            assert status == 200 and etag
+
+            start = time.perf_counter()
+            for _ in range(N_REQUESTS):
+                status, _, body = fetch("/tables/4")
+                assert status == 200
+                assert body == first                     # byte-identical
+            full_elapsed = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for _ in range(N_REQUESTS):
+                status, _, body = fetch("/tables/4",
+                                        {"If-None-Match": etag})
+                assert status == 304
+                assert body == b""
+            conditional_elapsed = time.perf_counter() - start
+        finally:
+            conn.close()
+    finally:
+        service.shutdown()
+        service.close()
+        thread.join(timeout=5)
+    return {
+        "n_requests": N_REQUESTS,
+        "table_requests_per_sec": N_REQUESTS / full_elapsed,
+        "conditional_requests_per_sec": N_REQUESTS / conditional_elapsed,
+    }

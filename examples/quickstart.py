@@ -1,61 +1,50 @@
 #!/usr/bin/env python3
-"""Quickstart: generate a small world, crawl it, and reproduce headline
-numbers from every layer of the paper.
+"""Quickstart: one Study session, every layer of the paper.
 
 Run:
     python examples/quickstart.py
 
-This walks the full pipeline in about a minute:
-  1. build a synthetic cross-platform world (Twitter, Reddit, 4chan);
-  2. crawl it with the paper's collection infrastructure;
-  3. print Section-3 characterization tables;
-  4. fit discrete Hawkes models to a handful of URLs (Section 5).
+This walks the full pipeline in about a minute through the public
+`repro.Study` API:
+  1. configure a synthetic cross-platform world (Twitter, Reddit, 4chan);
+  2. ask the session for Section-3 characterization tables (the world
+     is built and crawled lazily, on first use, and cached);
+  3. fit discrete Hawkes models to a handful of URLs (Section 5);
+  4. show that warm queries reuse artifacts instead of recomputing.
+
+Pass ``cache_dir=".repro-cache"`` to ``Study`` and re-run: the second
+run skips even the cold computation — artifacts persist across
+processes.
 """
 
-import numpy as np
+import time
 
+from repro import HawkesConfig, NewsCategory, Study, WorldConfig
 from repro.analysis import characterization as chz
-from repro.config import HawkesConfig, TWITTER_GAPS
-from repro.core import (
-    aggregate_weights,
-    fit_corpus,
-    influence_percentages,
-    select_urls,
-    trim_gap_urls,
-)
-from repro.news.domains import NewsCategory
-from repro.pipeline import generate_and_collect, influence_cascades
-from repro.reporting import render_table
-from repro.synthesis import WorldConfig
 
 
 def main() -> None:
-    print("=== 1. Building and crawling a synthetic world ===")
-    config = WorldConfig(
-        seed=2017,
-        n_stories_alternative=500,
-        n_stories_mainstream=1500,
-        n_twitter_users=800,
-        n_reddit_users=600,
+    print("=== 1. Configuring the session (nothing computed yet) ===")
+    study = Study(
+        world=WorldConfig(
+            seed=2017,
+            n_stories_alternative=500,
+            n_stories_mainstream=1500,
+            n_twitter_users=800,
+            n_reddit_users=600,
+        ),
+        hawkes=HawkesConfig(gibbs_iterations=40, gibbs_burn_in=15),
+        fit_seed=0,
+        max_urls=40,  # keep the demo quick
     )
-    data = generate_and_collect(config)
-    print(f"collected: {len(data.twitter)} tweets, "
-          f"{len(data.reddit)} reddit posts/comments, "
-          f"{len(data.fourchan)} 4chan posts with news URLs\n")
+    print(f"stage keys: {', '.join(list(study.keys())[:5])} ...\n")
 
     print("=== 2. Table 1 — share of posts containing news URLs ===")
-    world = data.world
-    rows = chz.total_post_shares(
-        {"Twitter": world.twitter.total_posts,
-         "Reddit": world.reddit.total_posts,
-         "4chan": world.fourchan.total_posts},
-        {"Twitter": data.twitter, "Reddit": data.reddit,
-         "4chan": data.fourchan})
-    print(render_table(
-        ["Platform", "Total posts", "% Alt", "% Main"],
-        [[r.platform, r.total_posts, f"{r.pct_alternative:.3f}",
-          f"{r.pct_mainstream:.3f}"] for r in rows]))
-    print()
+    print(study.table(1).render())  # triggers world -> data, then caches
+    data = study.data
+    print(f"\ncollected: {len(data.twitter)} tweets, "
+          f"{len(data.reddit)} reddit posts/comments, "
+          f"{len(data.fourchan)} 4chan posts with news URLs\n")
 
     print("=== 3. Top alternative domains per platform (Tables 5-7) ===")
     for name, dataset in (("Twitter", data.twitter),
@@ -67,25 +56,29 @@ def main() -> None:
     print()
 
     print("=== 4. Hawkes influence estimation (Section 5) ===")
-    cascades = influence_cascades(data)
-    corpus = trim_gap_urls(select_urls(cascades), TWITTER_GAPS, 0.10)
-    print(f"URLs with events on Twitter, /pol/, and a selected "
-          f"subreddit: {len(corpus)}")
-    subset = corpus[:40]  # keep the demo quick
-    result = fit_corpus(
-        subset, HawkesConfig(gibbs_iterations=40, gibbs_burn_in=15),
-        rng=np.random.default_rng(0))
-    agg = aggregate_weights(result)
+    print(f"Hawkes corpus (qualifying URLs, capped at "
+          f"{study.max_urls}): {len(study.corpus)}")
+    result = study.influence()
+    agg = study.aggregate()
     t = result.processes.index("Twitter")
     print(f"W(Twitter->Twitter): alternative {agg.mean_alternative[t, t]:.4f}"
           f" vs mainstream {agg.mean_mainstream[t, t]:.4f} "
           f"({agg.percent_change[t, t]:+.1f}%)")
-    pct = influence_percentages(result, NewsCategory.ALTERNATIVE)
+    pct = study.percentages(NewsCategory.ALTERNATIVE)
     td = result.processes.index("The_Donald")
     pol = result.processes.index("/pol/")
     print(f"share of Twitter's alternative events caused by The_Donald: "
-          f"{pct[td, t]:.2f}%  by /pol/: {pct[pol, t]:.2f}%")
-    print("\nDone. See benchmarks/ for the full per-table harness.")
+          f"{pct[td, t]:.2f}%  by /pol/: {pct[pol, t]:.2f}%\n")
+
+    print("=== 5. Warm queries are cache hits ===")
+    start = time.perf_counter()
+    study.table(1)
+    study.influence()
+    warm = time.perf_counter() - start
+    print(f"repeating table(1) + influence(): {warm * 1e6:.0f} us "
+          f"(stats: {study.stats})")
+    print("\nDone. Try `python -m repro serve` for the HTTP service and "
+          "benchmarks/ for the full per-table harness.")
 
 
 if __name__ == "__main__":

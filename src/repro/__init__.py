@@ -7,17 +7,29 @@ crawlers with outage gaps, re-crawls), the Section 3-4 characterization
 and temporal analyses, and the Section 5 discrete-time Hawkes influence
 estimator with Gibbs-sampling inference.
 
+The stable public surface is the :class:`Study` session
+(:mod:`repro.api`): one configuration object exposing every pipeline
+product as a cached, dependency-tracked artifact, servable over HTTP.
+
 Quickstart::
 
-    from repro.pipeline import generate_and_collect, influence_cascades
-    from repro.synthesis import WorldConfig
+    from repro import Study
 
-    data = generate_and_collect(WorldConfig(seed=1))
-    cascades = influence_cascades(data)
+    study = Study(seed=7)
+    print(study.table(4).render())   # Table 4, computed once, cached
+    result = study.influence()       # Section-5 per-URL Hawkes fits
 """
+
+from importlib import metadata as _metadata
+
+try:
+    __version__ = _metadata.version("repro-web-centipede")
+except _metadata.PackageNotFoundError:  # running from a source checkout
+    __version__ = "1.2.0"
 
 from . import (
     analysis,
+    api,
     collection,
     config,
     core,
@@ -27,6 +39,11 @@ from . import (
     platforms,
     synthesis,
 )
+from .api import ArtifactStore, Study, StudyService, TableArtifact
+from .config import HawkesConfig, StudyConfig
+from .core import InfluenceResult, UrlCascade, fit_corpus
+from .core.influence import CorpusSummary, UrlFit, WeightAggregate
+from .news.domains import NewsCategory
 from .pipeline import (
     CollectedData,
     collect,
@@ -35,11 +52,12 @@ from .pipeline import (
     influence_cascades,
     influence_corpus,
 )
-
-__version__ = "1.1.0"
+from .synthesis.world import World, WorldConfig
 
 __all__ = [
+    # subpackages
     "analysis",
+    "api",
     "collection",
     "config",
     "core",
@@ -48,11 +66,30 @@ __all__ = [
     "parallel",
     "platforms",
     "synthesis",
+    # the session surface
+    "ArtifactStore",
+    "Study",
+    "StudyService",
+    "TableArtifact",
+    # key dataclasses
     "CollectedData",
+    "CorpusSummary",
+    "HawkesConfig",
+    "InfluenceResult",
+    "NewsCategory",
+    "StudyConfig",
+    "UrlCascade",
+    "UrlFit",
+    "WeightAggregate",
+    "World",
+    "WorldConfig",
+    # legacy pipeline functions (deprecation shims / compute helpers)
     "collect",
+    "fit_corpus",
     "fit_influence",
     "generate_and_collect",
     "influence_cascades",
     "influence_corpus",
+    # metadata
     "__version__",
 ]

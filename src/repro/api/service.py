@@ -1,0 +1,259 @@
+"""HTTP query service over a :class:`~repro.api.study.Study` session.
+
+A stdlib ``ThreadingHTTPServer`` exposing the reproduction's products
+as JSON::
+
+    GET /healthz                         liveness + version
+    GET /experiments                     the paper-experiment index
+    GET /tables/<1-11>                   one paper table
+    GET /influence                       Hawkes means / percentages
+        ?category=alternative|mainstream
+        ?source=<process>&destination=<process>   (matrix-cell filters)
+        ?view=live                       latest live-engine refit
+    GET /stages                          stage -> artifact key map
+
+Every cacheable response carries an ``ETag`` derived from the backing
+artifact's content key (a pure hash — conditional requests never
+compute anything), and ``If-None-Match`` hits return ``304`` with no
+body.  Rendered response bytes are cached per ETag, so repeated warm
+queries are dictionary lookups that never touch NumPy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import parse_qs, urlsplit
+
+from ..config import HAWKES_PROCESSES
+from .serialize import (
+    CONTENT_TYPE_JSON,
+    canonical_bytes,
+    experiments_payload,
+    filter_influence,
+    influence_payload,
+    payload_key,
+)
+from .study import Study
+
+#: Ref name under which the live engine publishes its windowed refits.
+LIVE_INFLUENCE_REF = "live/influence"
+
+
+class _Response(tuple):
+    """(status, etag or None, body bytes) triple."""
+
+    __slots__ = ()
+
+    def __new__(cls, status: int, etag: str | None, body: bytes):
+        return super().__new__(cls, (status, etag, body))
+
+
+def _error(status: int, message: str) -> _Response:
+    return _Response(status, None, canonical_bytes({"error": message}))
+
+
+def _etag_matches(etag: str, if_none_match: str | None) -> bool:
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    candidates = [c.strip().removeprefix("W/")
+                  for c in if_none_match.split(",")]
+    return etag in candidates
+
+
+class StudyService:
+    """The service: routing, ETag handling, and the response-byte cache."""
+
+    def __init__(self, study: Study, host: str = "127.0.0.1",
+                 port: int = 8731) -> None:
+        self.study = study
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = self  # type: ignore[attr-defined]
+        #: Rendered bodies keyed by ETag, LRU-bounded: a live engine
+        #: publishing refits mints a fresh ETag per refit x filter, so
+        #: an unbounded cache would grow forever in a long-lived server.
+        self._body_cache: OrderedDict[str, bytes] = OrderedDict()
+        self._body_cache_max = 256
+        self._cache_lock = threading.Lock()
+        version = _package_version()
+        self._experiments_body = canonical_bytes(experiments_payload())
+        self._experiments_etag = f'"{payload_key(experiments_payload())}"'
+        self._health_body = canonical_bytes(
+            {"status": "ok", "version": version})
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+
+    def close(self) -> None:
+        self.httpd.server_close()
+
+    # -- routing ------------------------------------------------------------
+
+    def respond(self, path: str, query: dict[str, list[str]],
+                if_none_match: str | None = None) -> _Response:
+        """Pure request handling; the HTTP handler only does I/O."""
+        if path in ("/healthz", "/healthz/"):
+            return _Response(200, None, self._health_body)
+        if path in ("/experiments", "/experiments/"):
+            if _etag_matches(self._experiments_etag.strip('"'),
+                             _strip_quotes(if_none_match)):
+                return _Response(304, self._experiments_etag, b"")
+            return _Response(200, self._experiments_etag,
+                             self._experiments_body)
+        if path in ("/stages", "/stages/"):
+            return _Response(200, None, canonical_bytes(self.study.keys()))
+        if path.startswith("/tables/"):
+            return self._respond_table(path, if_none_match)
+        if path in ("/influence", "/influence/"):
+            return self._respond_influence(query, if_none_match)
+        return _error(404, f"no route for {path}")
+
+    def _respond_table(self, path: str,
+                       if_none_match: str | None) -> _Response:
+        suffix = path.removeprefix("/tables/").rstrip("/")
+        try:
+            table_id = int(suffix)
+        except ValueError:
+            return _error(404, f"bad table id {suffix!r}")
+        if not 1 <= table_id <= 11:
+            return _error(404, f"unknown table {table_id} (expected 1-11)")
+        etag = self.study.etag(f"table:{table_id}")
+        if _etag_matches(etag.strip('"'), _strip_quotes(if_none_match)):
+            return _Response(304, etag, b"")
+        body = self._body(etag, lambda: canonical_bytes(
+            self.study.table(table_id).to_payload()))
+        return _Response(200, etag, body)
+
+    def _respond_influence(self, query: dict[str, list[str]],
+                           if_none_match: str | None) -> _Response:
+        category = _single(query, "category")
+        source = _single(query, "source")
+        destination = _single(query, "destination")
+        view = _single(query, "view") or "batch"
+        if category is not None and category not in (
+                "alternative", "mainstream"):
+            return _error(400, f"unknown category {category!r}")
+        for process in (source, destination):
+            if process is not None and process not in HAWKES_PROCESSES:
+                return _error(400, f"unknown process {process!r}")
+        if view == "live":
+            key = self.study.store.get_ref(LIVE_INFLUENCE_REF)
+            if key is None:
+                return _error(404, "no live influence result published")
+            load: Callable[[], dict] = lambda: self.study.store.get(key)
+        elif view == "batch":
+            key = self.study.stage_key("fits")
+            load = lambda: influence_payload(self.study.influence())
+        else:
+            return _error(400, f"unknown view {view!r}")
+        etag = f'"{key}:{view}:{category}:{source}:{destination}"'
+        if _etag_matches(etag.strip('"'), _strip_quotes(if_none_match)):
+            return _Response(304, etag, b"")
+
+        def build() -> bytes:
+            payload = load()
+            if payload is None:
+                raise LookupError("published live artifact vanished")
+            filtered = filter_influence(
+                dict(payload), category=category, source=source,
+                destination=destination)
+            filtered["view"] = view  # present in filtered and full bodies
+            return canonical_bytes(filtered)
+
+        try:
+            body = self._body(etag, build)
+        except LookupError as exc:
+            return _error(404, str(exc))
+        return _Response(200, etag, body)
+
+    def _body(self, etag: str, build: Callable[[], bytes]) -> bytes:
+        with self._cache_lock:
+            cached = self._body_cache.get(etag)
+            if cached is not None:
+                self._body_cache.move_to_end(etag)
+                return cached
+        body = build()
+        with self._cache_lock:
+            self._body_cache.setdefault(etag, body)
+            self._body_cache.move_to_end(etag)
+            while len(self._body_cache) > self._body_cache_max:
+                self._body_cache.popitem(last=False)
+        return body
+
+
+def _single(query: dict[str, list[str]], name: str) -> str | None:
+    values = query.get(name)
+    return values[-1] if values else None
+
+
+def _strip_quotes(header: str | None) -> str | None:
+    if header is None:
+        return None
+    return header.replace('"', "")
+
+
+def _package_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"  # keep-alive; every reply is length-framed
+    # One flush per response: headers+body leave in a single segment,
+    # and no Nagle wait on the body write (40 ms/req otherwise).
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    def _handle(self, send_body: bool) -> None:
+        split = urlsplit(self.path)
+        service: StudyService = self.server.service  # type: ignore[attr-defined]
+        try:
+            status, etag, body = service.respond(
+                split.path, parse_qs(split.query),
+                self.headers.get("If-None-Match"))
+        except Exception as exc:  # never kill the worker thread
+            status, etag, body = _error(500, f"{type(exc).__name__}: {exc}")
+        self.send_response(status)
+        if etag:
+            self.send_header("ETag", etag)
+            self.send_header("Cache-Control", "no-cache")
+        if status != 304:
+            self.send_header("Content-Type", CONTENT_TYPE_JSON)
+            self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if send_body and status != 304 and body:
+            self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle(send_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._handle(send_body=False)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep the serving loop quiet; logs belong to the caller
+
+
+def serve(study: Study, host: str = "127.0.0.1", port: int = 8731,
+          ) -> StudyService:
+    """Create a service bound to ``host:port`` (``port=0`` → ephemeral)."""
+    return StudyService(study, host=host, port=port)

@@ -1,17 +1,25 @@
 """Command-line interface.
 
+Every analysis command is a thin adapter over :class:`repro.Study`
+(:mod:`repro.api`): build a session from the flags, ask it for the
+products, print.  ``--cache DIR`` shares the session's artifact store
+across commands and processes, so e.g. ``repro report`` after
+``repro validate --cache .repro-cache`` never regenerates the world.
+
 Usage::
 
     python -m repro world --seed 7 --out data/           # generate + crawl
     python -m repro live --seed 7                        # streaming engine
+    python -m repro serve --port 8731                    # HTTP query service
     python -m repro reproduce --table 4                  # one experiment
     python -m repro experiments                          # EXPERIMENTS.md
-    python -m repro list                                 # experiment index
+    python -m repro list [--json]                        # experiment index
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -33,6 +41,13 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
              "cores); results are identical for any value")
 
 
+def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="artifact-cache directory; identical configurations reuse "
+             "each other's stage artifacts across processes")
+
+
 def _world_config(args: argparse.Namespace):
     from .synthesis import WorldConfig
     return WorldConfig(
@@ -44,10 +59,25 @@ def _world_config(args: argparse.Namespace):
     )
 
 
+def _study(args: argparse.Namespace, **overrides):
+    """The Study session every analysis command adapts over."""
+    from .api import Study
+    from .config import HawkesConfig
+    kwargs = {
+        "world": _world_config(args),
+        "hawkes": HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10),
+        "fit_seed": args.seed,
+        "max_urls": getattr(args, "max_urls", None),
+        "n_jobs": getattr(args, "jobs", 1),
+        "cache_dir": getattr(args, "cache", None),
+    }
+    kwargs.update(overrides)
+    return Study(**kwargs)
+
+
 def cmd_world(args: argparse.Namespace) -> int:
     """Generate a world, crawl it, and save the datasets as JSONL."""
-    from .pipeline import generate_and_collect
-    data = generate_and_collect(_world_config(args))
+    data = _study(args).data
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     data.twitter.save_jsonl(out / "twitter.jsonl")
@@ -97,13 +127,18 @@ def cmd_live(args: argparse.Namespace) -> int:
                                max_urls=args.refit_max_urls,
                                n_jobs=args.jobs),
             seed=args.seed)
+    publish_store = None
+    if args.cache is not None:
+        from .api import ArtifactStore
+        publish_store = ArtifactStore(args.cache)
     engine = LiveEngine(
         bus,
         refitter=refitter,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         summary_every=args.summary_every,
-        on_summary=lambda s: print(s.format()))
+        on_summary=lambda s: print(s.format()),
+        publish_store=publish_store)
     if args.resume and Path(args.checkpoint).exists():
         engine.restore()
         print(f"resumed at {engine.records_seen} records "
@@ -138,7 +173,11 @@ def cmd_live(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    """Print the experiment index."""
+    """Print the experiment index (``--json`` for machine-readable)."""
+    if args.json:
+        from .api.serialize import experiments_payload
+        print(json.dumps(experiments_payload(), indent=2, sort_keys=True))
+        return 0
     for experiment in EXPERIMENTS:
         print(f"{experiment.exp_id:10s} {experiment.title}")
     return 0
@@ -163,33 +202,42 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """Generate a world and run every paper-claim shape check."""
-    from .config import HawkesConfig
-    from .pipeline import fit_influence, generate_and_collect
     from .validation import (
         summarize_checks,
         validate_collected,
         validate_influence,
     )
-    data = generate_and_collect(_world_config(args))
-    checks = validate_collected(data)
+    study = _study(args)
+    checks = validate_collected(study.data)
     if not args.skip_influence:
-        config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
-        result = fit_influence(data, config, rng=args.seed,
-                               max_urls=args.max_urls, n_jobs=args.jobs)
-        checks.extend(validate_influence(result))
+        checks.extend(validate_influence(study.influence()))
     print(summarize_checks(checks))
     return 0 if all(c.passed for c in checks) else 1
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Generate a world and write a full study report (markdown)."""
-    from .pipeline import generate_and_collect
-    from .reporting.study import write_study_report
-    data = generate_and_collect(_world_config(args))
-    path = write_study_report(
-        data, args.out, include_influence=not args.skip_influence,
-        max_urls=args.max_urls, seed=args.seed, n_jobs=args.jobs)
+    study = _study(args)
+    path = study.write_report(
+        args.out, include_influence=not args.skip_influence)
     print(f"wrote {path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve tables and influence results over HTTP (JSON + ETag/304)."""
+    from .api import StudyService
+    study = _study(args)
+    service = StudyService(study, host=args.host, port=args.port)
+    print(f"serving http://{args.host}:{service.port}/ "
+          "(endpoints: /healthz /experiments /tables/<1-11> "
+          "/influence /stages)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
     return 0
 
 
@@ -210,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
     world = sub.add_parser("world", help=cmd_world.__doc__)
     _add_world_args(world)
     world.add_argument("--out", default="data")
+    _add_cache_arg(world)
     world.set_defaults(func=cmd_world)
 
     live = sub.add_parser("live", help=cmd_live.__doc__)
@@ -228,9 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--refit-every", type=int, default=25000)
     live.add_argument("--refit-max-urls", type=int, default=50)
     _add_jobs_arg(live)
+    _add_cache_arg(live)
     live.set_defaults(func=cmd_live)
 
     listing = sub.add_parser("list", help=cmd_list.__doc__)
+    listing.add_argument("--json", action="store_true",
+                         help="machine-readable output (same serializer "
+                              "as the /experiments endpoint)")
     listing.set_defaults(func=cmd_list)
 
     reproduce = sub.add_parser("reproduce", help=cmd_reproduce.__doc__)
@@ -243,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--skip-influence", action="store_true")
     validate.add_argument("--max-urls", type=int, default=150)
     _add_jobs_arg(validate)
+    _add_cache_arg(validate)
     validate.set_defaults(func=cmd_validate)
 
     report = sub.add_parser("report", help=cmd_report.__doc__)
@@ -251,7 +305,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--skip-influence", action="store_true")
     report.add_argument("--max-urls", type=int, default=120)
     _add_jobs_arg(report)
+    _add_cache_arg(report)
     report.set_defaults(func=cmd_report)
+
+    serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    _add_world_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--max-urls", type=int, default=120)
+    _add_jobs_arg(serve)
+    _add_cache_arg(serve)
+    serve.set_defaults(func=cmd_serve)
 
     experiments = sub.add_parser("experiments",
                                  help=cmd_experiments.__doc__)

@@ -54,9 +54,14 @@ class LiveEngine:
                  checkpoint_every: int = 20000,
                  summary_every: int = 2000,
                  on_summary: Callable[[RollingSummary], None] | None = None,
+                 publish_store=None,
                  ) -> None:
         self.bus = bus if bus is not None else EventBus()
         self.refitter = refitter
+        #: Optional :class:`repro.api.ArtifactStore`; each windowed
+        #: refit is published there so the HTTP query service serves
+        #: live results next to batch ones (GET /influence?view=live).
+        self.publish_store = publish_store
         self.checkpoint_path = (Path(checkpoint_path)
                                 if checkpoint_path is not None else None)
         self.checkpoint_every = checkpoint_every
@@ -116,14 +121,37 @@ class LiveEngine:
             if self.summary_every and self.records_seen % self.summary_every == 0:
                 self._emit_summary()
             if self.refitter is not None:
-                self.refitter.maybe_refit(self.cascades, self.stream_time,
-                                          self.records_seen)
+                refit = self.refitter.maybe_refit(
+                    self.cascades, self.stream_time, self.records_seen)
+                if refit is not None:
+                    self.publish_influence(refit)
             if (self.checkpoint_path is not None and self.checkpoint_every
                     and self.records_seen % self.checkpoint_every == 0):
                 self.checkpoint()
         if self.checkpoint_path is not None and consumed:
             self.checkpoint()
         return consumed
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish_influence(self, result) -> str | None:
+        """Publish a refit into the artifact store; returns its key.
+
+        The payload uses the same serializer as the batch ``/influence``
+        endpoint, stored content-addressed with the stable ref
+        ``live/influence`` pointed at the newest key — exactly how the
+        query service finds it.  No-op (returns ``None``) without a
+        ``publish_store``.
+        """
+        if self.publish_store is None:
+            return None
+        from ..api.serialize import influence_payload, payload_key
+        from ..api.service import LIVE_INFLUENCE_REF
+        payload = influence_payload(result)
+        key = payload_key(payload)
+        self.publish_store.put(key, payload)
+        self.publish_store.set_ref(LIVE_INFLUENCE_REF, key)
+        return key
 
     # -- summaries ----------------------------------------------------------
 

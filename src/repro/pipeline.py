@@ -4,10 +4,21 @@ This module wires the pieces together the way the paper's study ran:
 generate (or obtain) the platforms, crawl them into datasets, slice the
 datasets into the community splits every table uses, and assemble the
 per-URL cascades for the Hawkes influence experiment.
+
+.. note::
+   The preferred public surface is :class:`repro.Study`
+   (:mod:`repro.api`), which wraps these functions with dependency
+   tracking and a content-addressed artifact cache.  The pure
+   compute helpers here (:func:`collect`, :func:`influence_cascades`,
+   :func:`influence_corpus`, :func:`stream_sources`) remain the
+   canonical implementations the session delegates to; the one-shot
+   entry points (:func:`generate_and_collect`, :func:`fit_influence`)
+   are deprecation shims that now delegate *to* the session.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -105,9 +116,17 @@ def collect(world: World, stream_seed: int = 0) -> CollectedData:
 
 
 def generate_and_collect(config: WorldConfig | None = None) -> CollectedData:
-    """Build a world and crawl it — the standard pipeline entry point."""
-    world = build_world(config)
-    return collect(world)
+    """Build a world and crawl it.
+
+    .. deprecated:: 1.2
+       Use ``repro.Study(world=config).data`` — same result, plus
+       artifact caching and access to every downstream stage.
+    """
+    warnings.warn(
+        "generate_and_collect() is deprecated; use "
+        "repro.Study(world=config).data", DeprecationWarning, stacklevel=2)
+    from .api.study import Study
+    return Study(world=config).data
 
 
 def stream_sources(world: World, stream_seed: int = 0,
@@ -169,10 +188,17 @@ def fit_influence(data: CollectedData,
                   n_jobs: int | None = 1) -> InfluenceResult:
     """Corpus selection + per-URL fitting in one call.
 
-    The standard entry point behind ``repro validate`` / ``repro
-    report``; ``n_jobs`` fans the per-URL fits out over worker
-    processes without changing the result (see :mod:`repro.parallel`).
+    .. deprecated:: 1.2
+       Use ``repro.Study.from_data(data, ...).influence()`` — the shim
+       delegates there (bit-identical results; ``n_jobs`` fans the
+       per-URL fits out without changing them, see
+       :mod:`repro.parallel`).
     """
-    corpus = influence_corpus(data, max_urls=max_urls)
-    return fit_corpus(corpus, config, method=method, rng=rng,
-                      n_jobs=n_jobs)
+    warnings.warn(
+        "fit_influence() is deprecated; use "
+        "repro.Study.from_data(data, ...).influence()",
+        DeprecationWarning, stacklevel=2)
+    from .api.study import Study
+    study = Study.from_data(data, hawkes=config, method=method,
+                            fit_seed=rng, max_urls=max_urls, n_jobs=n_jobs)
+    return study.influence()

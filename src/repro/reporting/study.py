@@ -111,17 +111,25 @@ def _section_sequences(data) -> str:
 
 
 def _section_influence(data, max_urls: int, seed: int,
-                       n_jobs: int = 1) -> str:
+                       n_jobs: int = 1, corpus=None, result=None) -> str:
+    """Influence section; ``corpus``/``result`` skip recomputation.
+
+    A :class:`~repro.api.study.Study` passes its cached corpus and fits
+    so the report is a pure rendering step; the legacy path (both
+    ``None``) selects and fits here, exactly as before.
+    """
     from ..core import aggregate_weights, fit_corpus, influence_percentages
     from ..pipeline import influence_corpus
 
-    corpus = influence_corpus(data, max_urls=max_urls)
+    if corpus is None:
+        corpus = influence_corpus(data, max_urls=max_urls)
     if len(corpus) < 4:
         return ("## Influence estimation (Section 5)\n\n"
                 "*Too few URLs qualify for the Hawkes corpus.*\n")
-    config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
-    result = fit_corpus(corpus, config,
-                        rng=np.random.default_rng(seed), n_jobs=n_jobs)
+    if result is None:
+        config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
+        result = fit_corpus(corpus, config,
+                            rng=np.random.default_rng(seed), n_jobs=n_jobs)
     parts = [f"## Influence estimation (Section 5, {len(corpus)} URLs)\n"]
     try:
         agg = aggregate_weights(result)
@@ -147,8 +155,14 @@ def _section_influence(data, max_urls: int, seed: int,
 
 def generate_study_report(data, include_influence: bool = True,
                           max_urls: int = 120, seed: int = 0,
-                          n_jobs: int = 1) -> str:
-    """Render the full study over one :class:`CollectedData`."""
+                          n_jobs: int = 1, corpus=None,
+                          influence_result=None) -> str:
+    """Render the full study over one :class:`CollectedData`.
+
+    ``corpus``/``influence_result`` inject precomputed Section-5
+    artifacts (the :meth:`repro.Study.report` path); when omitted the
+    influence section computes them itself with ``max_urls``/``seed``.
+    """
     sections = [
         "# Web Centipede study report\n",
         f"Window: {STUDY_START} .. {STUDY_END} (epoch seconds); "
@@ -161,7 +175,9 @@ def generate_study_report(data, include_influence: bool = True,
         _section_sequences(data),
     ]
     if include_influence:
-        sections.append(_section_influence(data, max_urls, seed, n_jobs))
+        sections.append(_section_influence(data, max_urls, seed, n_jobs,
+                                           corpus=corpus,
+                                           result=influence_result))
     return "\n".join(sections)
 
 

@@ -1,0 +1,116 @@
+"""Tests for the content-addressed artifact store and fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.api.store import (
+    MISSING,
+    ArtifactStore,
+    canonical_json,
+    digest,
+    fingerprint,
+)
+from repro.config import HawkesConfig, TWITTER_GAPS
+from repro.news.domains import NewsCategory
+from repro.synthesis.world import WorldConfig
+
+
+class TestFingerprint:
+    def test_scalars_pass_through(self):
+        assert fingerprint(3) == 3
+        assert fingerprint("x") == "x"
+        assert fingerprint(None) is None
+        assert fingerprint(True) is True
+
+    def test_float_exact(self):
+        assert fingerprint(0.1) == {"__f__": "0.1"}
+        assert fingerprint(0.1) != fingerprint(0.1 + 1e-17 * 7)
+
+    def test_dataclass_and_enum(self):
+        fp = fingerprint(HawkesConfig())
+        assert fp["__dc__"] == "HawkesConfig"
+        assert fp["fields"]["delta_t"] == 60
+        assert fingerprint(NewsCategory.ALTERNATIVE)["value"] == "alternative"
+
+    def test_world_config_with_ground_truth_arrays(self):
+        # GroundTruth carries numpy arrays; the fingerprint must be stable.
+        a = canonical_json(WorldConfig(seed=3))
+        b = canonical_json(WorldConfig(seed=3))
+        assert a == b
+        assert canonical_json(WorldConfig(seed=4)) != a
+
+    def test_intervals(self):
+        assert (fingerprint(TWITTER_GAPS)
+                == fingerprint(tuple(TWITTER_GAPS)))
+
+    def test_seed_sequence(self):
+        root = np.random.SeedSequence(7)
+        fp = fingerprint(root)
+        assert fp["__seed__"][0] == 7
+        root.spawn(3)
+        assert fingerprint(root)["__seed__"][2] == 3  # children advance key
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+    def test_digest_is_hex_sha256(self):
+        key = digest({"a": 1})
+        assert len(key) == 64
+        assert key == digest({"a": 1})
+        assert key != digest({"a": 2})
+
+
+class TestMemoryStore:
+    def test_round_trip(self):
+        store = ArtifactStore()
+        store.put("k1", {"x": np.arange(3)})
+        value = store.get("k1")
+        assert np.array_equal(value["x"], np.arange(3))
+        assert store.contains("k1")
+
+    def test_missing_returns_default(self):
+        store = ArtifactStore()
+        assert store.get("absent") is None
+        assert store.get("absent", MISSING) is MISSING
+        assert not store.contains("absent")
+
+    def test_refs(self):
+        store = ArtifactStore()
+        assert store.get_ref("live/influence") is None
+        store.set_ref("live/influence", "abc")
+        assert store.get_ref("live/influence") == "abc"
+        store.set_ref("live/influence", "def")
+        assert store.get_ref("live/influence") == "def"
+
+
+class TestDiskStore:
+    def test_cross_instance_round_trip(self, tmp_path):
+        a = ArtifactStore(tmp_path / "cache")
+        a.put("deadbeef", ["payload", 1, 2.5])
+        b = ArtifactStore(tmp_path / "cache")  # fresh instance, same root
+        assert b.get("deadbeef") == ["payload", 1, 2.5]
+        assert b.contains("deadbeef")
+        assert "deadbeef" in set(b.keys())
+
+    def test_refs_persist(self, tmp_path):
+        a = ArtifactStore(tmp_path / "cache")
+        a.set_ref("live/influence", "0" * 64)
+        b = ArtifactStore(tmp_path / "cache")
+        assert b.get_ref("live/influence") == "0" * 64
+
+    def test_corrupt_object_treated_as_missing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("cafebabe", [1, 2, 3])
+        path = store._object_path("cafebabe")
+        path.write_bytes(b"not a pickle")
+        fresh = ArtifactStore(tmp_path / "cache")
+        assert fresh.get("cafebabe", MISSING) is MISSING
+
+    def test_hit_miss_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.get("nope")
+        store.put("yes", 1)
+        store.get("yes")
+        assert store.misses == 1
+        assert store.hits == 1

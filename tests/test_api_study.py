@@ -1,0 +1,226 @@
+"""Study session tests: golden equivalence with the legacy pipeline,
+stage keys, and artifact-cache round trips (warm, disk, cross-process).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import characterization as chz
+from repro.api import ArtifactStore, Study, build_table
+from repro.config import HawkesConfig
+from repro.core import fit_corpus
+from repro.news.domains import NewsCategory
+from repro.pipeline import influence_corpus
+from repro.reporting.study import generate_study_report
+from repro.synthesis.world import WorldConfig
+
+GOLDEN_HAWKES = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
+GOLDEN_MAX_URLS = 16
+
+#: Small enough to build in ~a second; used by the disk/cross-process
+#: tests that must construct worlds from scratch.
+TINY_KWARGS = dict(seed=5, n_stories_alternative=40,
+                   n_stories_mainstream=100, n_twitter_users=60,
+                   n_reddit_users=50, n_generic_subreddits=10)
+
+
+@pytest.fixture(scope="module")
+def api_study(collected):
+    return Study.from_data(collected, hawkes=GOLDEN_HAWKES,
+                           fit_seed=0, max_urls=GOLDEN_MAX_URLS)
+
+
+class TestGoldenEquivalence:
+    """Study products must be byte/bit-identical to the legacy path."""
+
+    def test_corpus_matches_pipeline(self, api_study, collected):
+        legacy = influence_corpus(collected, max_urls=GOLDEN_MAX_URLS)
+        assert api_study.corpus == legacy
+
+    def test_fits_bit_identical(self, api_study, collected):
+        legacy = fit_corpus(
+            influence_corpus(collected, max_urls=GOLDEN_MAX_URLS),
+            GOLDEN_HAWKES, rng=np.random.default_rng(0))
+        result = api_study.influence()
+        assert len(result.fits) == len(legacy.fits)
+        for ours, theirs in zip(result.fits, legacy.fits):
+            assert ours.url == theirs.url
+            assert np.array_equal(ours.weights, theirs.weights)
+            assert np.array_equal(ours.background, theirs.background)
+            assert ours.log_likelihood == theirs.log_likelihood
+
+    def test_table_rows_match_analysis_layer(self, api_study, collected):
+        rows = chz.dataset_overview({
+            "Twitter": collected.twitter,
+            "Reddit (six selected subreddits)": collected.reddit_six,
+            "Reddit (other subreddits)": collected.reddit_other,
+            "4chan (/pol/)": collected.pol,
+            "4chan (other boards)": collected.fourchan_other,
+        })
+        artifact = api_study.table(2)
+        assert artifact.rows == tuple(
+            (r.name, r.posts_with_urls, r.unique_alternative,
+             r.unique_mainstream) for r in rows)
+
+    def test_all_tables_match_direct_builders(self, api_study, collected):
+        for table_id in range(1, 11):
+            direct = build_table(table_id, collected)
+            assert api_study.table(table_id).render() == direct.render()
+
+    def test_table11_uses_study_fits(self, api_study):
+        direct = build_table(11, api_study.data, api_study.influence())
+        assert api_study.table(11).render() == direct.render()
+
+    def test_report_bytes_match_legacy(self, api_study, collected):
+        legacy = generate_study_report(
+            collected, include_influence=True, max_urls=GOLDEN_MAX_URLS,
+            seed=0)
+        assert api_study.report() == legacy
+
+    def test_report_without_influence_matches(self, api_study, collected):
+        legacy = generate_study_report(collected, include_influence=False)
+        assert api_study.report(include_influence=False) == legacy
+
+    def test_deprecated_shims_delegate(self, collected):
+        from repro.pipeline import fit_influence
+        with pytest.warns(DeprecationWarning):
+            shimmed = fit_influence(collected, GOLDEN_HAWKES, rng=0,
+                                    max_urls=4)
+        legacy = fit_corpus(influence_corpus(collected, max_urls=4),
+                            GOLDEN_HAWKES, rng=0)
+        for ours, theirs in zip(shimmed.fits, legacy.fits):
+            assert np.array_equal(ours.weights, theirs.weights)
+
+
+class TestStageKeys:
+    def test_keys_cover_every_stage(self):
+        study = Study(seed=3)
+        keys = study.keys()
+        assert set(keys) == set(study.stage_names())
+        assert all(len(k) == 64 for k in keys.values())
+
+    def test_same_config_same_keys(self):
+        assert Study(seed=3).keys() == Study(seed=3).keys()
+
+    def test_n_jobs_is_not_part_of_the_key(self):
+        assert (Study(seed=3, n_jobs=1).stage_key("fits")
+                == Study(seed=3, n_jobs=8).stage_key("fits"))
+
+    def test_config_changes_invalidate_downstream_only(self):
+        base = Study(seed=3)
+        refit = Study(seed=3, fit_seed=99)
+        assert base.stage_key("corpus") == refit.stage_key("corpus")
+        assert base.stage_key("fits") != refit.stage_key("fits")
+        assert base.stage_key("table:2") == refit.stage_key("table:2")
+        assert base.stage_key("table:11") != refit.stage_key("table:11")
+
+    def test_world_seed_invalidates_everything(self):
+        a, b = Study(seed=3), Study(seed=4)
+        for name in a.stage_names():
+            assert a.stage_key(name) != b.stage_key(name)
+
+    def test_method_and_max_urls_change_fit_key(self):
+        base = Study(seed=3)
+        assert base.stage_key("fits") != Study(
+            seed=3, method="em").stage_key("fits")
+        assert base.stage_key("fits") != Study(
+            seed=3, max_urls=10).stage_key("fits")
+
+    def test_unseeded_fit_never_collides(self):
+        a = Study(seed=3, fit_seed=None)
+        b = Study(seed=3, fit_seed=None)
+        assert a.stage_key("fits") != b.stage_key("fits")
+
+    def test_generator_seed_equals_int_seed(self):
+        assert (Study(seed=3, fit_seed=np.random.default_rng(7))
+                .stage_key("fits")
+                == Study(seed=3, fit_seed=7).stage_key("fits"))
+
+    def test_errors(self):
+        with pytest.raises(KeyError):
+            Study(seed=3).stage_key("nope")
+        with pytest.raises(KeyError):
+            Study(seed=3).table(12)
+        with pytest.raises(ValueError):
+            Study(WorldConfig(seed=1), seed=2)
+        with pytest.raises(ValueError):
+            Study(seed=3, method="mcmc")
+
+
+class TestWarmCache:
+    def test_second_call_is_memoized(self, api_study):
+        api_study.table(2)
+        before = dict(api_study.stats)
+        artifact = api_study.table(2)
+        assert api_study.stats["computed"] == before["computed"]
+        assert api_study.stats["memo_hits"] == before["memo_hits"] + 1
+        assert artifact is api_study.table(2)
+
+    def test_aggregates_reuse_fits(self, api_study):
+        api_study.influence()
+        computed = api_study.stats["computed"]
+        api_study.corpus_summary()
+        api_study.percentages(NewsCategory.ALTERNATIVE)
+        # summary computes itself but never refits the corpus
+        assert api_study.stats["computed"] <= computed + 1
+
+    def test_disk_round_trip_skips_all_compute(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = Study(world=WorldConfig(**TINY_KWARGS), cache_dir=cache)
+        cold_artifact = cold.table(2)
+        assert cold.stats["computed"] >= 2  # world, data, table
+
+        warm = Study(world=WorldConfig(**TINY_KWARGS), cache_dir=cache)
+        warm_artifact = warm.table(2)
+        assert warm.stats["computed"] == 0
+        assert warm.stats["store_hits"] == 1  # table hit; deps untouched
+        assert warm_artifact.render() == cold_artifact.render()
+
+    def test_shared_store_object(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        a = Study(world=WorldConfig(**TINY_KWARGS), store=store)
+        b = Study(world=WorldConfig(**TINY_KWARGS), store=store)
+        a.table(2)
+        b.table(2)
+        assert b.stats["computed"] == 0
+
+
+class TestCrossProcess:
+    def test_warm_cache_across_processes(self, tmp_path):
+        cache = tmp_path / "cache"
+        src = Path(__file__).resolve().parent.parent / "src"
+        script = (
+            "from repro.api import Study\n"
+            "from repro.synthesis.world import WorldConfig\n"
+            f"study = Study(world=WorldConfig(**{TINY_KWARGS!r}), "
+            f"cache_dir={str(cache)!r})\n"
+            "print(study.table(2).render())\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(src) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+
+        study = Study(world=WorldConfig(**TINY_KWARGS), cache_dir=cache)
+        artifact = study.table(2)
+        assert study.stats["computed"] == 0
+        assert artifact.render() == proc.stdout.rstrip("\n")
+
+
+class TestFromData:
+    def test_preseeds_world_and_data(self, api_study, collected):
+        assert api_study.data is collected
+        assert api_study.world is collected.world
+
+    def test_payloads_are_json_ready(self, api_study):
+        import json
+        payload = api_study.table(2).to_payload()
+        encoded = json.dumps(payload)
+        assert "Twitter" in encoded
+        assert payload["table"] == 2

@@ -101,6 +101,15 @@ class TestCli:
         assert "Table 4" in out
         assert "Figure 10" in out
 
+    def test_list_json_shares_endpoint_serializer(self, capsys):
+        import json
+        from repro.api import experiments_payload
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(json.dumps(experiments_payload()))
+        assert payload["count"] == len(EXPERIMENTS)
+        assert payload["experiments"][0]["id"] == "Table 1"
+
     def test_world_command(self, tmp_path, capsys):
         code = main(["world", "--seed", "3", "--stories-alt", "30",
                      "--stories-main", "60", "--twitter-users", "50",
