@@ -16,6 +16,7 @@ land in ``results/BENCH_api_serve.json``.
 from __future__ import annotations
 
 import http.client
+import math
 import os
 import threading
 import time
@@ -106,8 +107,11 @@ def test_bench_api_cold_vs_warm(benchmark, tmp_path_factory):
           f"cold influence {cold_influence:.3f}s -> warm "
           f"{warm_influence * 1e6:.0f}us "
           f"({cold_influence / warm_influence:.0f}x)")
+    latency = registry["http"]["table_latency_seconds"]
     print(f"HTTP: {registry['http']['table_requests_per_sec']:.0f} req/s "
-          f"warm, {registry['http']['conditional_requests_per_sec']:.0f} "
+          f"warm (p50 {latency['p50'] * 1e6:.0f}us, "
+          f"p99 {latency['p99'] * 1e6:.0f}us), "
+          f"{registry['http']['conditional_requests_per_sec']:.0f} "
           "req/s conditional (304)")
 
 
@@ -128,20 +132,22 @@ def _measure_http(study) -> dict:
             status, etag, first = fetch("/tables/4")     # warm the body cache
             assert status == 200 and etag
 
-            start = time.perf_counter()
+            full_latencies = []
             for _ in range(N_REQUESTS):
+                start = time.perf_counter()
                 status, _, body = fetch("/tables/4")
+                full_latencies.append(time.perf_counter() - start)
                 assert status == 200
                 assert body == first                     # byte-identical
-            full_elapsed = time.perf_counter() - start
 
-            start = time.perf_counter()
+            conditional_latencies = []
             for _ in range(N_REQUESTS):
+                start = time.perf_counter()
                 status, _, body = fetch("/tables/4",
                                         {"If-None-Match": etag})
+                conditional_latencies.append(time.perf_counter() - start)
                 assert status == 304
                 assert body == b""
-            conditional_elapsed = time.perf_counter() - start
         finally:
             conn.close()
     finally:
@@ -150,6 +156,27 @@ def _measure_http(study) -> dict:
         thread.join(timeout=5)
     return {
         "n_requests": N_REQUESTS,
-        "table_requests_per_sec": N_REQUESTS / full_elapsed,
-        "conditional_requests_per_sec": N_REQUESTS / conditional_elapsed,
+        "table_requests_per_sec": N_REQUESTS / sum(full_latencies),
+        "conditional_requests_per_sec":
+            N_REQUESTS / sum(conditional_latencies),
+        "table_latency_seconds": _latency_summary(full_latencies),
+        "conditional_latency_seconds":
+            _latency_summary(conditional_latencies),
+    }
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Exact nearest-rank percentile over the measured latencies."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    return {
+        "p50": _percentile(samples, 0.50),
+        "p95": _percentile(samples, 0.95),
+        "p99": _percentile(samples, 0.99),
+        "mean": sum(samples) / len(samples),
+        "max": max(samples),
     }

@@ -35,6 +35,7 @@ from . import (
     core,
     live,
     news,
+    obs,
     parallel,
     platforms,
     synthesis,
@@ -63,6 +64,7 @@ __all__ = [
     "core",
     "live",
     "news",
+    "obs",
     "parallel",
     "platforms",
     "synthesis",

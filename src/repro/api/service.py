@@ -10,7 +10,8 @@ as JSON::
         ?category=alternative|mainstream
         ?source=<process>&destination=<process>   (matrix-cell filters)
         ?view=live                       latest live-engine refit
-    GET /stages                          stage -> artifact key map
+    GET /stages                          stage -> key map + store stats
+    GET /metrics                         Prometheus text (?format=json)
 
 Every cacheable response carries an ``ETag`` derived from the backing
 artifact's content key (a pure hash — conditional requests never
@@ -21,13 +22,21 @@ queries are dictionary lookups that never touch NumPy.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 from typing import Callable
 from urllib.parse import parse_qs, urlsplit
 
 from ..config import HAWKES_PROCESSES
+from ..obs import (
+    CONTENT_TYPE_PROMETHEUS,
+    DEFAULT_TIME_BUCKETS,
+    get_registry,
+    render_prometheus,
+)
 from .serialize import (
     CONTENT_TYPE_JSON,
     canonical_bytes,
@@ -41,14 +50,27 @@ from .study import Study
 #: Ref name under which the live engine publishes its windowed refits.
 LIVE_INFLUENCE_REF = "live/influence"
 
+logger = logging.getLogger("repro.api.service")
+
+#: Path heads the service routes; anything else is labelled "other" so
+#: scanners can't mint unbounded metric label values.
+_KNOWN_ROUTES = frozenset(
+    {"healthz", "experiments", "stages", "tables", "influence", "metrics"})
+
+
+def _route_label(path: str) -> str:
+    head = path.strip("/").split("/", 1)[0]
+    return f"/{head}" if head in _KNOWN_ROUTES else "other"
+
 
 class _Response(tuple):
-    """(status, etag or None, body bytes) triple."""
+    """(status, etag or None, body bytes, content type) quadruple."""
 
     __slots__ = ()
 
-    def __new__(cls, status: int, etag: str | None, body: bytes):
-        return super().__new__(cls, (status, etag, body))
+    def __new__(cls, status: int, etag: str | None, body: bytes,
+                content_type: str = CONTENT_TYPE_JSON):
+        return super().__new__(cls, (status, etag, body, content_type))
 
 
 def _error(status: int, message: str) -> _Response:
@@ -69,8 +91,12 @@ class StudyService:
     """The service: routing, ETag handling, and the response-byte cache."""
 
     def __init__(self, study: Study, host: str = "127.0.0.1",
-                 port: int = 8731) -> None:
+                 port: int = 8731, registry=None) -> None:
         self.study = study
+        self.metrics = registry if registry is not None else get_registry()
+        self._stats_lock = threading.Lock()
+        self._n_requests = 0
+        self._n_not_modified = 0
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.daemon_threads = True
         self.httpd.service = self  # type: ignore[attr-defined]
@@ -110,6 +136,27 @@ class StudyService:
     def respond(self, path: str, query: dict[str, list[str]],
                 if_none_match: str | None = None) -> _Response:
         """Pure request handling; the HTTP handler only does I/O."""
+        start = perf_counter()
+        response = self._route(path, query, if_none_match)
+        status = response[0]
+        route = _route_label(path)
+        self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status.",
+            route=route, status=str(status)).inc()
+        self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Request handling latency (routing through body render).",
+            edges=DEFAULT_TIME_BUCKETS,
+            route=route).observe(perf_counter() - start)
+        with self._stats_lock:
+            self._n_requests += 1
+            if status == 304:
+                self._n_not_modified += 1
+        return response
+
+    def _route(self, path: str, query: dict[str, list[str]],
+               if_none_match: str | None = None) -> _Response:
         if path in ("/healthz", "/healthz/"):
             return _Response(200, None, self._health_body)
         if path in ("/experiments", "/experiments/"):
@@ -119,12 +166,44 @@ class StudyService:
             return _Response(200, self._experiments_etag,
                              self._experiments_body)
         if path in ("/stages", "/stages/"):
-            return _Response(200, None, canonical_bytes(self.study.keys()))
+            return _Response(200, None, canonical_bytes(
+                {"stages": self.study.keys(),
+                 "store": self.study.store.stats()}))
+        if path in ("/metrics", "/metrics/"):
+            return self._respond_metrics(query)
         if path.startswith("/tables/"):
             return self._respond_table(path, if_none_match)
         if path in ("/influence", "/influence/"):
             return self._respond_influence(query, if_none_match)
         return _error(404, f"no route for {path}")
+
+    def _respond_metrics(self, query: dict[str, list[str]]) -> _Response:
+        """The scrape endpoint: Prometheus text, or JSON on request.
+
+        Derived gauges (cache hit ratio, 304 ratio) are refreshed here,
+        once per scrape, instead of on every request.
+        """
+        fmt = _single(query, "format") or "prometheus"
+        if fmt not in ("prometheus", "json"):
+            return _error(400, f"unknown format {fmt!r}")
+        registry = self.metrics
+        registry.gauge(
+            "repro_store_hit_ratio",
+            "Artifact store hits over total gets, process lifetime.",
+        ).set(self.study.store.stats()["hit_ratio"])
+        with self._stats_lock:
+            total, not_modified = self._n_requests, self._n_not_modified
+        if total:
+            registry.gauge(
+                "repro_http_not_modified_ratio",
+                "Fraction of requests answered 304 Not Modified.",
+            ).set(not_modified / total)
+        snapshot = registry.snapshot()
+        if fmt == "json":
+            return _Response(200, None, canonical_bytes(snapshot))
+        return _Response(200, None,
+                         render_prometheus(snapshot).encode("utf-8"),
+                         CONTENT_TYPE_PROMETHEUS)
 
     def _respond_table(self, path: str,
                        if_none_match: str | None) -> _Response:
@@ -227,17 +306,18 @@ class _Handler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         service: StudyService = self.server.service  # type: ignore[attr-defined]
         try:
-            status, etag, body = service.respond(
+            status, etag, body, content_type = service.respond(
                 split.path, parse_qs(split.query),
                 self.headers.get("If-None-Match"))
         except Exception as exc:  # never kill the worker thread
-            status, etag, body = _error(500, f"{type(exc).__name__}: {exc}")
+            status, etag, body, content_type = _error(
+                500, f"{type(exc).__name__}: {exc}")
         self.send_response(status)
         if etag:
             self.send_header("ETag", etag)
             self.send_header("Cache-Control", "no-cache")
         if status != 304:
-            self.send_header("Content-Type", CONTENT_TYPE_JSON)
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         if send_body and status != 304 and body:
@@ -250,10 +330,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle(send_body=False)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # keep the serving loop quiet; logs belong to the caller
+        # Route through stdlib logging instead of stderr: silent under
+        # the default WARNING level, visible with ``repro -v serve``.
+        logger.info("%s - %s", self.address_string(), format % args)
 
 
 def serve(study: Study, host: str = "127.0.0.1", port: int = 8731,
-          ) -> StudyService:
+          registry=None) -> StudyService:
     """Create a service bound to ``host:port`` (``port=0`` → ephemeral)."""
-    return StudyService(study, host=host, port=port)
+    return StudyService(study, host=host, port=port, registry=registry)

@@ -27,10 +27,13 @@ import pickle
 import tempfile
 import threading
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Iterator
 from urllib.parse import quote
 
 import numpy as np
+
+from ..obs import DEFAULT_TIME_BUCKETS, get_registry
 
 #: Bump to invalidate every stored artifact when stage semantics change.
 SCHEMA_VERSION = 1
@@ -124,25 +127,44 @@ class ArtifactStore:
         return self.root / "objects" / key[:2] / f"{key}.pkl"
 
     def get(self, key: str, default: Any = None) -> Any:
+        registry = get_registry()
         with self._lock:
             if key in self._mem:
                 self.hits += 1
+                registry.counter("repro_store_hits_total",
+                                 "Artifact cache hits by layer.",
+                                 layer="memory").inc()
                 return self._mem[key]
         if self.root is not None:
             path = self._object_path(key)
+            load_start = perf_counter()
             try:
                 with path.open("rb") as handle:
-                    value = pickle.load(handle)
+                    data = handle.read()
+                value = pickle.loads(data)
             except (OSError, pickle.UnpicklingError, EOFError,
                     AttributeError, ImportError):
                 pass
             else:
+                registry.histogram(
+                    "repro_store_load_seconds",
+                    "Wall time to read+unpickle one artifact from disk.",
+                    edges=DEFAULT_TIME_BUCKETS,
+                ).observe(perf_counter() - load_start)
+                registry.counter("repro_store_bytes_read_total",
+                                 "Bytes deserialized from the disk layer.",
+                                 ).inc(len(data))
+                registry.counter("repro_store_hits_total",
+                                 "Artifact cache hits by layer.",
+                                 layer="disk").inc()
                 with self._lock:
                     self._mem[key] = value
                     self.hits += 1
                 return value
         with self._lock:
             self.misses += 1
+        registry.counter("repro_store_misses_total",
+                         "Artifact cache misses (every layer cold).").inc()
         return default
 
     def contains(self, key: str) -> bool:
@@ -158,9 +180,31 @@ class ArtifactStore:
         if self.root is not None:
             path = self._object_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._atomic_write(path, pickle.dumps(
-                value, protocol=pickle.HIGHEST_PROTOCOL))
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            self._atomic_write(path, data)
+            get_registry().counter(
+                "repro_store_bytes_written_total",
+                "Bytes serialized into the disk layer.").inc(len(data))
         return key
+
+    def stats(self) -> dict:
+        """Cache effectiveness counters, cheap enough for every /stages.
+
+        ``hits``/``misses`` count :meth:`get` outcomes over this store's
+        lifetime (both layers); ``memory_objects`` is the resident
+        in-memory layer size.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            memory_objects = len(self._mem)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": (hits / total) if total else 0.0,
+            "memory_objects": memory_objects,
+            "persistent": self.root is not None,
+        }
 
     def keys(self) -> Iterator[str]:
         with self._lock:

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..config import HawkesConfig, TWITTER_GAPS
+from ..obs import DEFAULT_TIME_BUCKETS, get_registry, span
 from ..core.influence import (
     CorpusSummary,
     FitMethod,
@@ -248,10 +250,18 @@ class Study:
     def etag(self, name: str) -> str:
         return f'"{self.stage_key(name)}"'
 
+    @staticmethod
+    def _count_stage(name: str, result: str) -> None:
+        get_registry().counter(
+            "repro_stage_requests_total",
+            "Stage artifact requests by resolution.",
+            stage=name, result=result).inc()
+
     def _value(self, name: str):
         with self._lock:
             if name in self._memo:
                 self.stats["memo_hits"] += 1
+                self._count_stage(name, "memo")
                 return self._memo[name]
             stage_lock = self._stage_locks.setdefault(name,
                                                       threading.Lock())
@@ -259,15 +269,31 @@ class Study:
             with self._lock:
                 if name in self._memo:  # computed while we waited
                     self.stats["memo_hits"] += 1
+                    self._count_stage(name, "memo")
                     return self._memo[name]
                 key = self.stage_key(name)
+            load_start = perf_counter()
             cached = self.store.get(key, MISSING)
             if cached is not MISSING:
                 with self._lock:
                     self.stats["store_hits"] += 1
+                self._count_stage(name, "store")
+                get_registry().histogram(
+                    "repro_stage_load_seconds",
+                    "Wall time to load one stage artifact from the store.",
+                    edges=DEFAULT_TIME_BUCKETS,
+                    stage=name).observe(perf_counter() - load_start)
+                with self._lock:
                     self._memo[name] = cached
                 return cached
-            value = self._stage(name).compute(self)
+            compute_start = perf_counter()
+            with span(f"stage:{name}"):
+                value = self._stage(name).compute(self)
+            self._count_stage(name, "computed")
+            get_registry().histogram(
+                "repro_stage_compute_seconds",
+                "Wall time to compute one cold stage artifact.",
+                stage=name).observe(perf_counter() - compute_start)
             with self._lock:
                 self.stats["computed"] += 1
                 self._memo[name] = value

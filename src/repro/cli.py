@@ -14,16 +14,36 @@ Usage::
     python -m repro reproduce --table 4                  # one experiment
     python -m repro experiments                          # EXPERIMENTS.md
     python -m repro list [--json]                        # experiment index
+    python -m repro stats --cache DIR --trace FILE       # run metrics
+
+``-v`` / ``-vv`` (before or after the subcommand) raises the stdlib
+logging level, surfacing live-engine summaries and HTTP access logs
+that are suppressed by default.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
 from .paper import EXPERIMENTS, by_id
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Map ``-v`` counts to stdlib logging levels (WARNING by default).
+
+    ``repro.*`` loggers (live summaries, HTTP access lines) emit at
+    INFO/DEBUG, so without ``-v`` the tools stay as quiet as before.
+    """
+    level = (logging.WARNING if verbosity <= 0
+             else logging.INFO if verbosity == 1
+             else logging.DEBUG)
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
 
 
 def _add_world_args(parser: argparse.ArgumentParser) -> None:
@@ -46,6 +66,30 @@ def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
         "--cache", default=None, metavar="DIR",
         help="artifact-cache directory; identical configurations reuse "
              "each other's stage artifacts across processes")
+
+
+def _add_verbose_arg(parser: argparse.ArgumentParser,
+                     suppress_default: bool = False) -> None:
+    # Subparsers get default=SUPPRESS so `repro -v live` survives: an
+    # absent subcommand flag then leaves the main parser's value alone
+    # instead of resetting it to 0.
+    parser.add_argument(
+        "-v", "--verbose", action="count",
+        default=argparse.SUPPRESS if suppress_default else 0,
+        help="log progress via stdlib logging (-v INFO, -vv DEBUG)")
+
+
+def _publish_metrics(study) -> None:
+    """Publish this process's metrics snapshot into the study's store.
+
+    Lets ``repro stats --cache DIR`` report on the run afterwards; a
+    no-op for in-memory stores (nothing would outlive the process) or
+    with metrics disabled.
+    """
+    from .obs import get_registry, publish_snapshot
+    registry = get_registry()
+    if study.store.root is not None and registry.enabled:
+        publish_snapshot(study.store, registry.snapshot())
 
 
 def _world_config(args: argparse.Namespace):
@@ -131,13 +175,14 @@ def cmd_live(args: argparse.Namespace) -> int:
     if args.cache is not None:
         from .api import ArtifactStore
         publish_store = ArtifactStore(args.cache)
+    # Rolling summaries go through the "repro.live" logger: visible
+    # with -v, quiet otherwise (the final tables always print).
     engine = LiveEngine(
         bus,
         refitter=refitter,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         summary_every=args.summary_every,
-        on_summary=lambda s: print(s.format()),
         publish_store=publish_store)
     if args.resume and Path(args.checkpoint).exists():
         engine.restore()
@@ -212,6 +257,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if not args.skip_influence:
         checks.extend(validate_influence(study.influence()))
     print(summarize_checks(checks))
+    _publish_metrics(study)
     return 0 if all(c.passed for c in checks) else 1
 
 
@@ -221,6 +267,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     path = study.write_report(
         args.out, include_influence=not args.skip_influence)
     print(f"wrote {path}")
+    _publish_metrics(study)
     return 0
 
 
@@ -231,7 +278,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = StudyService(study, host=args.host, port=args.port)
     print(f"serving http://{args.host}:{service.port}/ "
           "(endpoints: /healthz /experiments /tables/<1-11> "
-          "/influence /stages)")
+          "/influence /stages /metrics)")
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -239,6 +286,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         service.close()
     return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Report run metrics from an artifact cache and/or a trace file."""
+    if args.cache is None and args.trace is None:
+        print("stats needs --cache DIR and/or --trace FILE",
+              file=sys.stderr)
+        return 2
+    status = 0
+    if args.cache is not None:
+        from .api import ArtifactStore
+        from .obs import METRICS_REF, render_text
+        store = ArtifactStore(args.cache)
+        key = store.get_ref(METRICS_REF)
+        snapshot = store.get(key) if key is not None else None
+        if snapshot is None:
+            print(f"no metrics snapshot published under {args.cache!r} "
+                  f"(ref {METRICS_REF!r}); run e.g. `repro report "
+                  f"--cache {args.cache}` first", file=sys.stderr)
+            status = 1
+        elif args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(render_text(snapshot))
+    if args.trace is not None:
+        from .obs import summarize_trace
+        from .reporting import render_table
+        try:
+            summary = summarize_trace(args.trace)
+        except OSError as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        elif not summary:
+            print(f"trace {args.trace} holds no spans")
+        else:
+            print(render_table(
+                ["Span", "Count", "Wall s", "CPU s", "Mean s", "Max s"],
+                [[name, str(agg["count"]), f"{agg['wall_s']:.3f}",
+                  f"{agg['cpu_s']:.3f}", f"{agg['mean_wall_s']:.4f}",
+                  f"{agg['max_wall_s']:.4f}"]
+                 for name, agg in summary.items()],
+                title=f"Trace summary — {args.trace}"))
+    return status
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -253,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Web Centipede reproduction toolkit")
+    _add_verbose_arg(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     world = sub.add_parser("world", help=cmd_world.__doc__)
@@ -317,17 +411,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arg(serve)
     serve.set_defaults(func=cmd_serve)
 
+    stats = sub.add_parser("stats", help=cmd_stats.__doc__)
+    stats.add_argument("--cache", default=None, metavar="DIR",
+                       help="artifact-cache directory a run published "
+                            "its metrics snapshot into")
+    stats.add_argument("--trace", default=None, metavar="FILE",
+                       help="REPRO_TRACE JSONL file to aggregate")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    stats.set_defaults(func=cmd_stats)
+
     experiments = sub.add_parser("experiments",
                                  help=cmd_experiments.__doc__)
     experiments.add_argument("--out", default="EXPERIMENTS.md")
     experiments.add_argument("--results", default="results")
     experiments.set_defaults(func=cmd_experiments)
+
+    for command in sub.choices.values():
+        _add_verbose_arg(command, suppress_default=True)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(getattr(args, "verbose", 0))
     return args.func(args)
 
 

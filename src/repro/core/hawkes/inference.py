@@ -24,9 +24,15 @@ different order than the historical per-event ``multinomial`` sampler
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from ...obs import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_DELTA_BUCKETS,
+    get_registry,
+)
 from ..events import DiscreteEvents
 from .basis import LagBasis, LogBinnedLagBasis
 from .kernels import ParentStructure, get_parent_structure, \
@@ -90,6 +96,25 @@ def _initial_state(events: DiscreteEvents, basis: LagBasis, priors: Priors,
     return background, weights, buckets
 
 
+def _record_fit_metrics(method: str, total: float,
+                        phases: dict[str, float]) -> None:
+    """Observe one completed fit.
+
+    Pure timing — nothing here touches the RNG or the fitted arrays,
+    so instrumented fits stay bit-identical to uninstrumented ones.
+    """
+    registry = get_registry()
+    registry.counter("repro_fit_total",
+                     "Completed per-URL Hawkes fits.", method=method).inc()
+    registry.histogram("repro_fit_seconds",
+                       "Wall time of one Hawkes fit.",
+                       method=method).observe(total)
+    phase_help = "Kernel wall time per fit phase, summed over sweeps."
+    for phase, seconds in phases.items():
+        registry.histogram("repro_fit_phase_seconds", phase_help,
+                           method=method, phase=phase).observe(seconds)
+
+
 def fit_gibbs(events: DiscreteEvents, max_lag: int,
               basis: LagBasis | None = None,
               priors: Priors | None = None,
@@ -109,13 +134,16 @@ def fit_gibbs(events: DiscreteEvents, max_lag: int,
     if basis.max_lag != max_lag:
         raise ValueError("basis.max_lag must equal max_lag")
     k_procs = events.n_processes
+    fit_start = perf_counter()
     structure = get_parent_structure(events, basis)
     background, weights, buckets = _initial_state(events, basis, priors)
 
+    attribution_s = updates_s = 0.0
     kept_bg: list[np.ndarray] = []
     kept_w: list[np.ndarray] = []
     kept_buckets: list[np.ndarray] = []
     for sweep in range(n_iterations):
+        phase_start = perf_counter()
         lag_pmf = basis.expand(buckets)
         # -- parent attribution ------------------------------------------
         flat_vals = structure.all_candidate_values(weights, lag_pmf)
@@ -129,7 +157,9 @@ def fit_gibbs(events: DiscreteEvents, max_lag: int,
             np.add.at(z_bucket,
                       (structure.flat_src, structure.flat_dst,
                        structure.flat_bucket), flat_draws)
+        attribution_s += perf_counter() - phase_start
         # -- conjugate updates --------------------------------------------
+        phase_start = perf_counter()
         background = rng.gamma(
             priors.background_shape + z_background,
             1.0 / (priors.background_rate + events.n_bins))
@@ -141,6 +171,7 @@ def fit_gibbs(events: DiscreteEvents, max_lag: int,
         buckets = rng.gamma(conc, 1.0)  # Dirichlet via normalized Gammas
         buckets = np.maximum(buckets, 1e-12)
         buckets /= buckets.sum(axis=2, keepdims=True)
+        updates_s += perf_counter() - phase_start
 
         if sweep >= burn_in:
             kept_bg.append(background.copy())
@@ -155,9 +186,17 @@ def fit_gibbs(events: DiscreteEvents, max_lag: int,
                           impulse=basis.expand(mean_buckets))
     samples = (np.array(kept_w) if keep_samples
                else np.empty((0, k_procs, k_procs)))
+    phase_start = perf_counter()
+    log_likelihood = discrete_log_likelihood(params, events)
+    likelihood_s = perf_counter() - phase_start
+    _record_fit_metrics("gibbs", perf_counter() - fit_start, {
+        "attribution": attribution_s,
+        "updates": updates_s,
+        "likelihood": likelihood_s,
+    })
     return FitResult(
         params=params,
-        log_likelihood=discrete_log_likelihood(params, events),
+        log_likelihood=log_likelihood,
         weight_samples=samples,
         n_iterations=n_iterations,
     )
@@ -173,6 +212,7 @@ def fit_em(events: DiscreteEvents, max_lag: int,
     if basis.max_lag != max_lag:
         raise ValueError("basis.max_lag must equal max_lag")
     k_procs = events.n_processes
+    fit_start = perf_counter()
     structure = get_parent_structure(events, basis)
     background, weights, buckets = _initial_state(events, basis, priors)
 
@@ -180,8 +220,11 @@ def fit_em(events: DiscreteEvents, max_lag: int,
     dst_all = events.processes.astype(np.int64)
     previous_ll = -np.inf
     iterations_run = 0
+    attribution_s = updates_s = likelihood_s = 0.0
+    relative_delta = np.inf
     for iteration in range(max_iterations):
         iterations_run = iteration + 1
+        phase_start = perf_counter()
         lag_pmf = basis.expand(buckets)
         z_background = np.zeros(k_procs)
         flat_vals = structure.all_candidate_values(weights, lag_pmf)
@@ -203,7 +246,9 @@ def fit_em(events: DiscreteEvents, max_lag: int,
             np.add.at(z_bucket,
                       (structure.flat_src, structure.flat_dst,
                        structure.flat_bucket), flat_resp)
+        attribution_s += perf_counter() - phase_start
         # -- MAP M-step -----------------------------------------------------
+        phase_start = perf_counter()
         background = ((priors.background_shape - 1.0 + z_background)
                       / (priors.background_rate + events.n_bins))
         background = np.maximum(background, 1e-12)
@@ -215,10 +260,15 @@ def fit_em(events: DiscreteEvents, max_lag: int,
         conc = priors.impulse_concentration - 1.0 + z_bucket
         conc = np.maximum(conc, 1e-12)
         buckets = conc / conc.sum(axis=2, keepdims=True)
+        updates_s += perf_counter() - phase_start
 
+        phase_start = perf_counter()
         params = HawkesParams(background=background, weights=weights,
                               impulse=basis.expand(buckets))
         current_ll = discrete_log_likelihood(params, events)
+        likelihood_s += perf_counter() - phase_start
+        relative_delta = (abs(current_ll - previous_ll)
+                          / (1 + abs(previous_ll)))
         if abs(current_ll - previous_ll) < tol * (1 + abs(previous_ll)):
             previous_ll = current_ll
             break
@@ -226,6 +276,20 @@ def fit_em(events: DiscreteEvents, max_lag: int,
 
     params = HawkesParams(background=background, weights=weights,
                           impulse=basis.expand(buckets))
+    registry = get_registry()
+    registry.histogram(
+        "repro_fit_em_iterations", "EM iterations to convergence.",
+        edges=DEFAULT_COUNT_BUCKETS).observe(iterations_run)
+    if np.isfinite(relative_delta):
+        registry.histogram(
+            "repro_fit_em_convergence_delta",
+            "Final relative log-likelihood delta at EM termination.",
+            edges=DEFAULT_DELTA_BUCKETS).observe(relative_delta)
+    _record_fit_metrics("em", perf_counter() - fit_start, {
+        "attribution": attribution_s,
+        "updates": updates_s,
+        "likelihood": likelihood_s,
+    })
     return FitResult(
         params=params,
         log_likelihood=previous_ll,

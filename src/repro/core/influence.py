@@ -21,6 +21,7 @@ from ..config import (
     SELECTED_SUBREDDITS,
 )
 from ..news.domains import NewsCategory
+from ..obs import span
 from ..parallel import parallel_map, spawn_task_seeds
 from ..parallel.seeding import SeedLike
 from ..timeutil import Interval, in_any_interval
@@ -256,8 +257,10 @@ def fit_corpus(cascades: Sequence[UrlCascade],
         _fit_one_url, config=config, method=method,
         processes=tuple(processes), basis=basis, priors=priors,
         keep_samples=keep_samples, memoize_events=memoize_events)
-    fits = parallel_map(fit_one, zip(cascades, seeds), n_jobs=n_jobs,
-                        chunk_size=chunk_size, progress=progress)
+    with span("fit_corpus", urls=len(cascades), method=method,
+              n_jobs=n_jobs):
+        fits = parallel_map(fit_one, zip(cascades, seeds), n_jobs=n_jobs,
+                            chunk_size=chunk_size, progress=progress)
     return InfluenceResult(processes=tuple(processes), fits=fits)
 
 

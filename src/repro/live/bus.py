@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..collection.store import Dataset, DatasetRecord, iter_jsonl
+from ..obs import get_registry
 
 #: A named feed of records: (source name, iterator).
 Source = tuple[str, Iterator[DatasetRecord]]
@@ -49,6 +50,9 @@ class EventBus:
 
     def events(self) -> Iterator[tuple[str, DatasetRecord]]:
         """Yield ``(source name, record)`` in global timestamp order."""
+        depth = get_registry().gauge(
+            "repro_live_merge_depth",
+            "Sources currently alive in the k-way merge heap.")
         heap: list[tuple[float, int, int, DatasetRecord, str,
                          Iterator[DatasetRecord]]] = []
         for index, (name, iterator) in enumerate(self._sources):
@@ -57,6 +61,7 @@ class EventBus:
                 heapq.heappush(
                     heap, (record.created_at, index, 0, record, name,
                            iterator))
+        depth.set(len(heap))
         while heap:
             when, index, seq, record, name, iterator = heapq.heappop(heap)
             yield name, record
@@ -69,6 +74,8 @@ class EventBus:
                 heapq.heappush(
                     heap, (following.created_at, index, seq + 1, following,
                            name, iterator))
+            else:  # a source ran dry: the merge narrowed
+                depth.set(len(heap))
 
 
 # ---------------------------------------------------------------------------

@@ -9,12 +9,15 @@ file, and emits rolling summaries.  Each record costs O(log n) work
 
 from __future__ import annotations
 
+import logging
 from collections import Counter
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Iterator
 
+from ..obs import get_registry, publish_snapshot, span
 from .aggregators import (
     CascadeAssembler,
     DomainFractionAggregator,
@@ -24,6 +27,8 @@ from .aggregators import (
 from .bus import EventBus
 from .checkpoint import load_checkpoint, save_checkpoint
 from .refit import WindowedHawkesRefitter
+
+logger = logging.getLogger("repro.live")
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,7 @@ class LiveEngine:
                  summary_every: int = 2000,
                  on_summary: Callable[[RollingSummary], None] | None = None,
                  publish_store=None,
+                 registry=None,
                  ) -> None:
         self.bus = bus if bus is not None else EventBus()
         self.refitter = refitter
@@ -76,6 +82,12 @@ class LiveEngine:
         self.records_seen = 0
         self.by_source: Counter = Counter()
         self.stream_time = 0.0
+        #: Metrics registry (ambient by default); per-source counter
+        #: handles are cached so the per-record cost is one method call.
+        self.metrics = registry if registry is not None else get_registry()
+        self._record_counters: dict = {}
+        self._wall_start: float | None = None
+        self._wall_base = 0
         #: Records run() must skip to reach the stream position of a
         #: restored checkpoint (set by restore()).
         self._replay_skip = 0
@@ -90,6 +102,12 @@ class LiveEngine:
         """Apply one record to every aggregator — the O(Δ) update."""
         self.records_seen += 1
         self.by_source[source] += 1
+        counter = self._record_counters.get(source)
+        if counter is None:
+            counter = self._record_counters[source] = self.metrics.counter(
+                "repro_live_records_total",
+                "Records processed by the live engine.", source=source)
+        counter.inc()
         if record.created_at > self.stream_time:
             self.stream_time = record.created_at
         self.domains.update(record)
@@ -105,6 +123,9 @@ class LiveEngine:
         deterministic stream the checkpointed run consumed (same world
         seed, same sources), so skipping reproduces the stream position.
         """
+        if self._wall_start is None:
+            self._wall_start = perf_counter()
+            self._wall_base = self.records_seen
         if self._events is None:
             self._events = self.bus.events()
         events = self._events
@@ -130,6 +151,9 @@ class LiveEngine:
                 self.checkpoint()
         if self.checkpoint_path is not None and consumed:
             self.checkpoint()
+        if consumed:
+            self._update_gauges()
+            self.publish_metrics()
         return consumed
 
     # -- publishing ---------------------------------------------------------
@@ -153,6 +177,18 @@ class LiveEngine:
         self.publish_store.set_ref(LIVE_INFLUENCE_REF, key)
         return key
 
+    def publish_metrics(self) -> str | None:
+        """Publish the current metrics snapshot into the artifact store.
+
+        Stored content-addressed under the stable ref ``obs/metrics`` so
+        ``repro stats --cache`` and the query service can report on a
+        run after (or while) it happens.  No-op without a
+        ``publish_store`` or with metrics disabled.
+        """
+        if self.publish_store is None or not self.metrics.enabled:
+            return None
+        return publish_snapshot(self.publish_store, self.metrics.snapshot())
+
     # -- summaries ----------------------------------------------------------
 
     def summary(self) -> RollingSummary:
@@ -167,8 +203,24 @@ class LiveEngine:
         )
 
     def _emit_summary(self) -> None:
+        summary = self.summary()
+        self._update_gauges()
+        logger.info("%s", summary.format())
         if self.on_summary is not None:
-            self.on_summary(self.summary())
+            self.on_summary(summary)
+
+    def _update_gauges(self) -> None:
+        metrics = self.metrics
+        metrics.gauge("repro_live_stream_time_seconds",
+                      "Stream clock of the newest record seen.",
+                      ).set(self.stream_time)
+        if self._wall_start is not None:
+            elapsed = perf_counter() - self._wall_start
+            if elapsed > 0:
+                metrics.gauge(
+                    "repro_live_ingest_records_per_second",
+                    "Records ingested per wall second since run() began.",
+                ).set((self.records_seen - self._wall_base) / elapsed)
 
     # -- checkpoint / restore -----------------------------------------------
 
@@ -200,7 +252,14 @@ class LiveEngine:
     def checkpoint(self) -> Path:
         if self.checkpoint_path is None:
             raise ValueError("engine has no checkpoint_path")
-        return save_checkpoint(self.checkpoint_path, self.state_dict())
+        with span("live.checkpoint", records=self.records_seen):
+            start = perf_counter()
+            path = save_checkpoint(self.checkpoint_path, self.state_dict())
+        self.metrics.histogram(
+            "repro_live_checkpoint_seconds",
+            "Wall time of one checkpoint save.",
+        ).observe(perf_counter() - start)
+        return path
 
     def restore(self, path: str | Path | None = None) -> None:
         """Load a checkpoint so the engine resumes mid-stream.

@@ -12,10 +12,12 @@ reuses :func:`repro.core.influence.fit_corpus` unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from ..config import HawkesConfig
+from ..obs import get_registry
 from ..core.influence import (
     FitMethod,
     InfluenceResult,
@@ -81,8 +83,14 @@ class WindowedHawkesRefitter:
         cascades = assembler.cascades_between(window_start, settled_before)
         corpus = select_urls(cascades)[:self.policy.max_urls]
         self.last_corpus_size = len(corpus)
+        registry = get_registry()
+        registry.gauge(
+            "repro_live_refit_corpus_urls",
+            "URLs in the most recent windowed refit corpus.",
+        ).set(len(corpus))
         if not corpus:
             return None
+        refit_start = perf_counter()
         rng = np.random.default_rng(self.seed + self.n_refits)
         # Overlapping windows refit the same settled cascades; memoized
         # event binning lets their kernel structures carry over.  Worker
@@ -93,6 +101,10 @@ class WindowedHawkesRefitter:
                             memoize_events=self.policy.n_jobs == 1)
         self.last_result = result
         self.n_refits += 1
+        registry.histogram(
+            "repro_live_refit_seconds",
+            "Wall time of one windowed influence refit.",
+        ).observe(perf_counter() - refit_start)
         return result
 
     # -- checkpointing ------------------------------------------------------

@@ -1,0 +1,125 @@
+"""Render registry snapshots: Prometheus text exposition and plain text.
+
+:func:`render_prometheus` emits the Prometheus text format (version
+0.0.4) the ``/metrics`` endpoint serves: ``# HELP``/``# TYPE`` headers,
+cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count`` for
+histograms.  Families and samples are rendered in sorted order, so a
+snapshot always renders to the same bytes (pinned by a golden test).
+
+:func:`render_text` is the human-facing formatting behind
+``repro stats``.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+#: Content type of the Prometheus text exposition format.
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _value(value: float | int | None) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number != number:
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a snapshot as Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, family in snapshot.get("metrics", {}).items():
+        kind = family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape(family['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_labels(labels)} {_value(sample['value'])}")
+                continue
+            cumulative = 0
+            for edge, count in zip(sample["edges"], sample["counts"]):
+                cumulative += count
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_labels(labels, (('le', _value(edge)),))}"
+                    f" {cumulative}")
+            lines.append(f"{name}_bucket"
+                         f"{_labels(labels, (('le', '+Inf'),))}"
+                         f" {sample['count']}")
+            lines.append(f"{name}_sum{_labels(labels)} "
+                         f"{_value(sample['sum'])}")
+            lines.append(f"{name}_count{_labels(labels)} "
+                         f"{sample['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_quantile(sample: dict, q: float) -> float | None:
+    """Upper-edge quantile estimate from a histogram sample."""
+    count = sample["count"]
+    if not count:
+        return None
+    rank = q * count
+    running = 0
+    edges = sample["edges"]
+    for index, bucket in enumerate(sample["counts"]):
+        running += bucket
+        if running >= rank and bucket:
+            if index >= len(edges):
+                return sample["max"]
+            edge = edges[index]
+            return min(edge, sample["max"]) if sample["max"] is not None \
+                else edge
+    return sample["max"]
+
+
+def render_text(snapshot: dict) -> str:
+    """Human-readable snapshot summary (the ``repro stats`` output)."""
+    metrics = snapshot.get("metrics", {})
+    if not metrics:
+        return "(no metrics recorded)"
+    sections: list[str] = []
+    for name, family in metrics.items():
+        kind = family["type"]
+        header = f"{name}  [{kind}]"
+        if family.get("help"):
+            header += f"  — {family['help']}"
+        lines = [header]
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            tag = _labels(labels) or "{}"
+            if kind in ("counter", "gauge"):
+                lines.append(f"  {tag:<48} {_value(sample['value'])}")
+                continue
+            mean = sample["sum"] / sample["count"] if sample["count"] else 0
+            parts = [f"count={sample['count']}", f"mean={mean:.6g}"]
+            for q in (0.5, 0.95, 0.99):
+                estimate = _histogram_quantile(sample, q)
+                if estimate is not None:
+                    parts.append(f"p{int(q * 100)}<={estimate:.6g}")
+            if sample["max"] is not None:
+                parts.append(f"max={sample['max']:.6g}")
+            lines.append(f"  {tag:<48} " + " ".join(parts))
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) + "\n"

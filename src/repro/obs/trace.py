@@ -1,0 +1,187 @@
+"""Nested tracing spans with JSONL export.
+
+A :func:`span` measures wall time (``perf_counter``) and CPU time
+(``process_time``) around a block, tracks nesting through a
+thread-local stack, and — when tracing is enabled — appends one JSON
+line per completed span to the trace file::
+
+    with span("fit_corpus", urls=len(corpus)):
+        ...
+
+Enable by exporting ``REPRO_TRACE=/path/to/trace.jsonl`` (worker
+processes forked by :mod:`repro.parallel` inherit the variable and
+append to the same file; every line carries its ``pid``), or
+programmatically with :func:`start_trace`.  Each line holds ``name``,
+``span``/``parent`` ids, ``depth``, ``pid``/``tid``, the epoch start
+time ``t0``, ``wall_s``, ``cpu_s``, and the caller's ``attrs``.
+
+Spans are **guaranteed side-effect-free on RNG streams**: nothing here
+draws randomness (ids come from a process-local counter), so code
+under tracing produces bit-identical numerical results — a property
+the obs test suite pins against golden fits.  When tracing is
+disabled a span still measures (two clock reads at entry and exit, a
+few microseconds) but writes nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+#: Environment variable naming the JSONL trace file.
+TRACE_ENV = "REPRO_TRACE"
+
+_ids = itertools.count(1)
+_tls = threading.local()
+
+
+class TraceSink:
+    """Appends span records to a JSONL file, one line per span."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file: io.TextIOBase | None = None
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                          default=str)
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+#: Sentinel meaning "environment not consulted yet".
+_UNSET = object()
+_sink: TraceSink | None | object = _UNSET
+_sink_lock = threading.Lock()
+
+
+def _active_sink() -> TraceSink | None:
+    """The configured sink, resolving ``REPRO_TRACE`` lazily once."""
+    global _sink
+    if _sink is _UNSET:
+        with _sink_lock:
+            if _sink is _UNSET:
+                path = os.environ.get(TRACE_ENV)
+                _sink = TraceSink(path) if path else None
+    return _sink  # type: ignore[return-value]
+
+
+def start_trace(path: str | Path) -> TraceSink:
+    """Start writing spans to ``path`` (overrides ``REPRO_TRACE``)."""
+    global _sink
+    with _sink_lock:
+        if isinstance(_sink, TraceSink):
+            _sink.close()
+        _sink = TraceSink(path)
+        return _sink
+
+
+def stop_trace() -> None:
+    """Stop tracing (the environment is not re-consulted afterwards)."""
+    global _sink
+    with _sink_lock:
+        if isinstance(_sink, TraceSink):
+            _sink.close()
+        _sink = None
+
+
+def _stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+class Span:
+    """One timed block; use via the :func:`span` factory."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth",
+                 "wall", "cpu", "_t0", "_wall0", "_cpu0")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.wall = 0.0
+        self.cpu = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.span_id = next(_ids)
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._t0 = time.time()
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall = time.perf_counter() - self._wall0
+        self.cpu = time.process_time() - self._cpu0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        sink = _active_sink()
+        if sink is not None:
+            sink.write({
+                "name": self.name,
+                "span": self.span_id,
+                "parent": self.parent_id,
+                "depth": self.depth,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "t0": self._t0,
+                "wall_s": self.wall,
+                "cpu_s": self.cpu,
+                "error": exc_type.__name__ if exc_type else None,
+                "attrs": self.attrs,
+            })
+        return False
+
+
+def span(name: str, **attrs) -> Span:
+    """A context manager timing one named block (see module docs)."""
+    return Span(name, attrs)
+
+
+def summarize_trace(path: str | Path) -> dict[str, dict]:
+    """Aggregate a trace JSONL per span name.
+
+    Returns ``{name: {count, wall_s, cpu_s, max_wall_s, mean_wall_s}}``
+    sorted by descending total wall time — the shape ``repro stats
+    --trace`` renders.
+    """
+    totals: dict[str, dict] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            agg = totals.setdefault(record["name"], {
+                "count": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                "max_wall_s": 0.0})
+            agg["count"] += 1
+            agg["wall_s"] += record["wall_s"]
+            agg["cpu_s"] += record["cpu_s"]
+            agg["max_wall_s"] = max(agg["max_wall_s"], record["wall_s"])
+    for agg in totals.values():
+        agg["mean_wall_s"] = agg["wall_s"] / agg["count"]
+    return dict(sorted(totals.items(),
+                       key=lambda item: -item[1]["wall_s"]))

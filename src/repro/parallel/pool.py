@@ -18,7 +18,10 @@ import multiprocessing
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from time import perf_counter
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from ..obs import DEFAULT_TIME_BUCKETS, collecting, get_registry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,9 +63,34 @@ def iter_chunks(n_tasks: int, chunk_size: int) -> Iterator[tuple[int, int]]:
         yield start, min(start + chunk_size, n_tasks)
 
 
-def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
-    """Worker-side loop (module-level so it pickles by reference)."""
-    return [fn(item) for item in chunk]
+def _task_seconds(registry):
+    return registry.histogram(
+        "repro_parallel_task_seconds",
+        "Per-task duration inside parallel_map, workers included.",
+        edges=DEFAULT_TIME_BUCKETS)
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T],
+               ) -> tuple[list[R], float, dict]:
+    """Worker-side loop (module-level so it pickles by reference).
+
+    Runs the chunk under a fresh collecting registry so anything the
+    task function records (fitter metrics, per-task durations) is
+    isolated per chunk and shipped back as a snapshot alongside the
+    results; the dispatcher merges snapshots into the parent registry.
+    Merging is order-independent, so the nondeterministic completion
+    order of the pool never changes the totals.
+    """
+    with collecting() as registry:
+        histogram = _task_seconds(registry)
+        chunk_start = perf_counter()
+        results = []
+        for item in chunk:
+            task_start = perf_counter()
+            results.append(fn(item))
+            histogram.observe(perf_counter() - task_start)
+        busy = perf_counter() - chunk_start
+    return results, busy, registry.snapshot()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -100,18 +128,28 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
     items = list(items)
     total = len(items)
     n_jobs = min(resolve_n_jobs(n_jobs), max(total, 1))
+    registry = get_registry()
     if n_jobs == 1:
+        histogram = _task_seconds(registry)
+        map_start = perf_counter()
         results: list[R] = []
         for done, item in enumerate(items, start=1):
+            task_start = perf_counter()
             results.append(fn(item))
+            histogram.observe(perf_counter() - task_start)
             if progress is not None:
                 progress(done, total)
+        registry.counter("repro_parallel_tasks_total").inc(total)
+        registry.histogram("repro_parallel_map_seconds").observe(
+            perf_counter() - map_start)
         return results
 
     if chunk_size is None:
         chunk_size = auto_chunk_size(total, n_jobs)
     out: list[R | None] = [None] * total
     done = 0
+    busy_total = 0.0
+    map_start = perf_counter()
     with ProcessPoolExecutor(max_workers=n_jobs,
                              mp_context=_pool_context()) as pool:
         future_spans = {
@@ -121,7 +159,10 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
         try:
             for future in as_completed(future_spans):
                 start, stop = future_spans[future]
-                out[start:stop] = future.result()
+                out[start:stop], busy, worker_snapshot = future.result()
+                busy_total += busy
+                registry.merge_snapshot(worker_snapshot)
+                registry.counter("repro_parallel_chunks_total").inc()
                 done += stop - start
                 if progress is not None:
                     progress(done, total)
@@ -129,4 +170,12 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
             for future in future_spans:
                 future.cancel()
             raise
+    wall = perf_counter() - map_start
+    registry.counter("repro_parallel_tasks_total").inc(total)
+    registry.histogram("repro_parallel_map_seconds").observe(wall)
+    if wall > 0:
+        registry.gauge(
+            "repro_parallel_worker_utilization",
+            "Worker busy time over n_jobs x wall for the last map.",
+        ).set(min(1.0, busy_total / (n_jobs * wall)))
     return out  # type: ignore[return-value]

@@ -61,8 +61,11 @@ class TestRoutes:
     def test_stages_lists_keys(self, service):
         status, _, body = _get(service, "/stages")
         assert status == 200
-        keys = json.loads(body)
+        payload = json.loads(body)
+        keys = payload["stages"]
         assert "fits" in keys and "table:11" in keys
+        store = payload["store"]
+        assert {"hits", "misses", "hit_ratio"} <= set(store)
 
     def test_table_ok(self, service):
         status, headers, body = _get(service, "/tables/2")
