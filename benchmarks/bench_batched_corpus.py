@@ -1,0 +1,125 @@
+"""Batched vs per-URL corpus EM: urls/sec per engine × corpus shape.
+
+The batched engine exists for exactly one workload: thousands of small
+cascades, where per-URL EM is NumPy-dispatch-bound (hundreds of kernel
+launches per URL on arrays with tens of elements).  This bench fits the
+same synthetic corpora with ``engine="per-url"`` and
+``engine="batched"`` (both ``n_jobs=1``, so the comparison isolates the
+packing, not process fan-out), checks the results agree within
+tolerance, and reports urls/sec plus the batched speedup per shape.
+
+Each run emits ``results/BENCH_batched_corpus.json``; ``BENCH_SMOKE=1``
+shrinks the corpora for a fast CI pass (the JSON is emitted either
+way).  Corpora are synthesized directly — no world build — so the full
+mode stays in seconds, not minutes.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import HAWKES_PROCESSES, HawkesConfig
+from repro.core.influence import UrlCascade, fit_corpus
+from repro.news.domains import NewsCategory
+from repro.reporting import render_table
+
+from _helpers import write_bench_json
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: (name, n_urls, events_per_url) — tiny cascades dominate the paper's
+#: corpus (median URL has a handful of posts), small ones the tail.
+SHAPES = ((("tiny-cascades", 120, 5), ("small-cascades", 60, 12))
+          if SMOKE else
+          (("tiny-cascades", 1500, 5), ("small-cascades", 400, 12)))
+
+BENCH_HAWKES = HawkesConfig(max_lag_bins=120)
+
+_RESULTS: dict = {}
+_METRICS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    write_bench_json(_RESULTS, "BENCH_batched_corpus.json", case={
+        "smoke": SMOKE,
+        "shapes": [{"name": name, "n_urls": n, "events_per_url": m}
+                   for name, n, m in SHAPES],
+        "max_lag_bins": BENCH_HAWKES.max_lag_bins,
+        "n_jobs": 1,
+    }, metrics=_METRICS)
+
+
+def build_corpus(n_urls, events_per_url, seed):
+    """Synthetic selected-corpus lookalike: every URL clears the
+    Twitter + /pol/ + subreddit bar, remaining events are random."""
+    rng = np.random.default_rng(seed)
+    cascades = []
+    for i in range(n_urls):
+        t0 = i * 1e6
+        events = [(t0, "Twitter"), (t0 + 180.0, "/pol/"),
+                  (t0 + 420.0, "The_Donald")]
+        for _ in range(events_per_url - 3):
+            name = str(rng.choice(HAWKES_PROCESSES))
+            events.append((t0 + float(rng.uniform(0, 40_000)), name))
+        events.sort()
+        category = (NewsCategory.ALTERNATIVE if i % 2
+                    else NewsCategory.MAINSTREAM)
+        cascades.append(UrlCascade(f"u{i}", category, tuple(events)))
+    return cascades
+
+
+def _timed_fit(corpus, engine):
+    start = time.perf_counter()
+    result = fit_corpus(corpus, BENCH_HAWKES, method="em", engine=engine)
+    return result, time.perf_counter() - start
+
+
+def test_bench_batched_corpus(benchmark, save_result):
+    corpora = {name: build_corpus(n, m, seed=17 + i)
+               for i, (name, n, m) in enumerate(SHAPES)}
+    first_shape = SHAPES[0][0]
+    rows = []
+    for name, n_urls, events_per_url in SHAPES:
+        corpus = corpora[name]
+        if name == first_shape:
+            # One shape goes through the benchmark fixture so the run
+            # is visible to pytest-benchmark's own reporting.
+            per_url, per_url_s = benchmark.pedantic(
+                _timed_fit, args=(corpus, "per-url"),
+                rounds=1, iterations=1)
+        else:
+            per_url, per_url_s = _timed_fit(corpus, "per-url")
+        batched, batched_s = _timed_fit(corpus, "batched")
+        # The engines must agree before their timings are comparable.
+        for ref, got in zip(per_url.fits, batched.fits):
+            np.testing.assert_allclose(got.weights, ref.weights,
+                                       rtol=5e-3, atol=1e-8)
+        speedup = per_url_s / batched_s
+        for engine, elapsed in (("per-url", per_url_s),
+                                ("batched", batched_s)):
+            _RESULTS[f"{name}/{engine}"] = {
+                "ops_per_sec": n_urls / elapsed,
+                "mean_seconds": elapsed / n_urls,
+                "wall_seconds": elapsed,
+                "n_urls": n_urls,
+                "events_per_url": events_per_url,
+            }
+        _RESULTS[f"{name}/speedup"] = {"batched_over_per_url": speedup}
+        rows.append([name, str(n_urls), str(events_per_url),
+                     f"{n_urls / per_url_s:.1f}",
+                     f"{n_urls / batched_s:.1f}", f"{speedup:.1f}x"])
+    from repro.obs import get_registry
+    _METRICS.update(get_registry().snapshot())
+    table = render_table(
+        ["Corpus", "URLs", "Ev/URL", "per-url URLs/s", "batched URLs/s",
+         "Speedup"],
+        rows, title=f"Corpus EM engines, n_jobs=1, max_lag="
+                    f"{BENCH_HAWKES.max_lag_bins}"
+                    f"{' (smoke)' if SMOKE else ''}")
+    save_result("batched_corpus_throughput.txt", table)
+    print()
+    print(table)

@@ -30,6 +30,7 @@ from ..config import HawkesConfig, TWITTER_GAPS
 from ..obs import DEFAULT_TIME_BUCKETS, get_registry, span
 from ..core.influence import (
     CorpusSummary,
+    Engine,
     FitMethod,
     InfluenceResult,
     UrlCascade,
@@ -79,8 +80,12 @@ class Study:
     / ``method`` / ``fit_seed`` / ``max_urls`` the Section-5 corpus
     fit, and ``n_jobs`` the worker fan-out (a pure execution knob —
     results and therefore artifact keys are identical for any value).
-    ``cache_dir`` persists artifacts on disk, shared across processes;
-    ``store`` injects a prebuilt :class:`ArtifactStore` instead.
+    ``engine`` picks the EM execution strategy (``"per-url"`` golden
+    reference or ``"batched"`` packed array program); like ``n_jobs``
+    it is an execution knob equivalent to floating-point tolerance, so
+    it is likewise excluded from artifact keys.  ``cache_dir`` persists
+    artifacts on disk, shared across processes; ``store`` injects a
+    prebuilt :class:`ArtifactStore` instead.
     """
 
     def __init__(self, world: WorldConfig | None = None, *,
@@ -94,6 +99,7 @@ class Study:
                  n_jobs: int | None = 1,
                  stream_seed: int = 0,
                  keep_samples: bool = False,
+                 engine: Engine = "per-url",
                  cache_dir=None,
                  store: ArtifactStore | None = None) -> None:
         if world is None:
@@ -107,7 +113,12 @@ class Study:
         self.hawkes_config = hawkes if hawkes is not None else HawkesConfig()
         if method not in ("gibbs", "em"):
             raise ValueError(f"unknown fit method {method!r}")
+        if engine not in ("per-url", "batched"):
+            raise ValueError(f"unknown fit engine {engine!r}")
+        if engine == "batched" and method != "em":
+            raise ValueError("engine='batched' requires method='em'")
         self.method: FitMethod = method
+        self.engine: Engine = engine
         self.max_urls = max_urls
         self.gaps = tuple(gaps)
         self.trim_fraction = trim_fraction
@@ -173,7 +184,8 @@ class Study:
         return fit_corpus(self._value("corpus"), self.hawkes_config,
                           method=self.method, rng=self._fit_seed_root(),
                           n_jobs=self.n_jobs,
-                          keep_samples=self.keep_samples)
+                          keep_samples=self.keep_samples,
+                          engine=self.engine)
 
     def _stages(self) -> dict[str, _Stage]:
         stages = {

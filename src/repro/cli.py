@@ -61,6 +61,15 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
              "cores); results are identical for any value")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("per-url", "batched"), default="per-url",
+        help="corpus fit execution strategy: 'per-url' fits one cascade "
+             "at a time (golden reference); 'batched' packs each chunk "
+             "into one array program and switches the fit method to EM "
+             "(results match per-url EM to floating-point tolerance)")
+
+
 def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -113,8 +122,14 @@ def _study(args: argparse.Namespace, **overrides):
         "fit_seed": args.seed,
         "max_urls": getattr(args, "max_urls", None),
         "n_jobs": getattr(args, "jobs", 1),
+        "engine": getattr(args, "engine", "per-url"),
         "cache_dir": getattr(args, "cache", None),
     }
+    if kwargs["engine"] == "batched":
+        # The batched engine only exists for EM; the CLI's default fit
+        # method is Gibbs, so --engine batched selects EM rather than
+        # erroring out of the Study constructor.
+        kwargs["method"] = "em"
     kwargs.update(overrides)
     return Study(**kwargs)
 
@@ -169,7 +184,8 @@ def cmd_live(args: argparse.Namespace) -> int:
         refitter = WindowedHawkesRefitter(
             policy=RefitPolicy(every_records=args.refit_every,
                                max_urls=args.refit_max_urls,
-                               n_jobs=args.jobs),
+                               n_jobs=args.jobs,
+                               engine=args.engine),
             seed=args.seed)
     publish_store = None
     if args.cache is not None:
@@ -371,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--refit-every", type=int, default=25000)
     live.add_argument("--refit-max-urls", type=int, default=50)
     _add_jobs_arg(live)
+    _add_engine_arg(live)
     _add_cache_arg(live)
     live.set_defaults(func=cmd_live)
 
@@ -390,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--skip-influence", action="store_true")
     validate.add_argument("--max-urls", type=int, default=150)
     _add_jobs_arg(validate)
+    _add_engine_arg(validate)
     _add_cache_arg(validate)
     validate.set_defaults(func=cmd_validate)
 
@@ -399,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--skip-influence", action="store_true")
     report.add_argument("--max-urls", type=int, default=120)
     _add_jobs_arg(report)
+    _add_engine_arg(report)
     _add_cache_arg(report)
     report.set_defaults(func=cmd_report)
 
@@ -408,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8731)
     serve.add_argument("--max-urls", type=int, default=120)
     _add_jobs_arg(serve)
+    _add_engine_arg(serve)
     _add_cache_arg(serve)
     serve.set_defaults(func=cmd_serve)
 

@@ -22,14 +22,28 @@ from ..config import (
 )
 from ..news.domains import NewsCategory
 from ..obs import span
-from ..parallel import parallel_map, spawn_task_seeds
+from ..parallel import (
+    auto_chunk_size,
+    iter_chunks,
+    parallel_map,
+    resolve_n_jobs,
+    spawn_task_seeds,
+)
 from ..parallel.seeding import SeedLike
 from ..timeutil import Interval, in_any_interval
 from .events import DiscreteEvents, bin_timestamps
 from .hawkes.basis import LagBasis, LogBinnedLagBasis
+from .hawkes.batched import fit_em_batched
 from .hawkes.inference import FitResult, Priors, fit_em, fit_gibbs
 
 FitMethod = Literal["gibbs", "em"]
+Engine = Literal["per-url", "batched"]
+
+#: Cascades packed into one batched EM fit, at most.  Bounds the flat
+#: candidate arrays (memory scales with total events in the batch, not
+#: with the corpus) while keeping per-iteration dispatch cost amortized
+#: over enough cascades to matter.
+MAX_BATCH_CASCADES = 1024
 
 
 @dataclass(frozen=True)
@@ -210,6 +224,29 @@ def _fit_one_url(task: tuple[UrlCascade, np.random.SeedSequence | None],
     )
 
 
+def _fit_batch(chunk: Sequence[UrlCascade], *, config: HawkesConfig,
+               processes: tuple[str, ...], basis: LagBasis,
+               priors: Priors, memoize_events: bool) -> list[UrlFit]:
+    """Fit one packed batch of cascades; module-level for pickling."""
+    events_list = [cascade_to_events(c, processes, config.delta_t,
+                                     memoize=memoize_events)
+                   for c in chunk]
+    batch = fit_em_batched(events_list, config.max_lag_bins, basis=basis,
+                           priors=priors)
+    return [
+        UrlFit(
+            url=cascade.url,
+            category=cascade.category,
+            background=batch.background[i].copy(),
+            weights=batch.weights[i].copy(),
+            event_counts=events.events_per_process(),
+            n_bins=events.n_bins,
+            log_likelihood=float(batch.log_likelihood[i]),
+        )
+        for i, (cascade, events) in enumerate(zip(chunk, events_list))
+    ]
+
+
 def fit_corpus(cascades: Sequence[UrlCascade],
                config: HawkesConfig | None = None,
                method: FitMethod = "gibbs",
@@ -221,6 +258,7 @@ def fit_corpus(cascades: Sequence[UrlCascade],
                chunk_size: int | None = None,
                keep_samples: bool = False,
                memoize_events: bool = False,
+               engine: Engine = "per-url",
                ) -> InfluenceResult:
     """Fit one Hawkes model per URL and collect the results.
 
@@ -236,11 +274,27 @@ def fit_corpus(cascades: Sequence[UrlCascade],
     reuses binned event matrices (and their kernel caches) across calls
     that see the same cascades — the live refitter's sliding window —
     at the cost of LRU retention; one-shot corpus fits leave it off.
+
+    ``engine`` selects how EM fits execute.  ``"per-url"`` (default,
+    the golden reference) dispatches one fit per cascade.
+    ``"batched"`` packs each chunk of cascades into one flat array
+    program (:func:`~.hawkes.batched.fit_em_batched`) so thousands of
+    small cascades fit as a handful of NumPy calls per EM sweep; it
+    requires ``method="em"`` and matches the per-URL path to floating
+    point tolerance (each cascade's result is bit-identical for every
+    batch composition, but batched and per-URL reductions associate
+    differently).
     """
     config = config or HawkesConfig()
     basis = basis or LogBinnedLagBasis(config.max_lag_bins)
     if method not in ("gibbs", "em"):
         raise ValueError(f"unknown fit method {method!r}")
+    if engine not in ("per-url", "batched"):
+        raise ValueError(f"unknown fit engine {engine!r}")
+    if engine == "batched" and method != "em":
+        raise ValueError(
+            "engine='batched' requires method='em' (Gibbs batching is "
+            "not implemented; see ROADMAP)")
     priors = Priors(
         background_shape=config.background_shape,
         background_rate=config.background_rate,
@@ -248,6 +302,11 @@ def fit_corpus(cascades: Sequence[UrlCascade],
         weight_rate=config.weight_rate,
         impulse_concentration=config.impulse_concentration,
     )
+    if engine == "batched":
+        return _fit_corpus_batched(
+            cascades, config=config, processes=tuple(processes),
+            basis=basis, priors=priors, progress=progress, n_jobs=n_jobs,
+            chunk_size=chunk_size, memoize_events=memoize_events)
     if method == "gibbs":
         seeds: Sequence[np.random.SeedSequence | None] = spawn_task_seeds(
             rng, len(cascades))
@@ -258,10 +317,48 @@ def fit_corpus(cascades: Sequence[UrlCascade],
         processes=tuple(processes), basis=basis, priors=priors,
         keep_samples=keep_samples, memoize_events=memoize_events)
     with span("fit_corpus", urls=len(cascades), method=method,
-              n_jobs=n_jobs):
+              engine="per-url", n_jobs=n_jobs):
         fits = parallel_map(fit_one, zip(cascades, seeds), n_jobs=n_jobs,
                             chunk_size=chunk_size, progress=progress)
     return InfluenceResult(processes=tuple(processes), fits=fits)
+
+
+def _fit_corpus_batched(cascades: Sequence[UrlCascade], *,
+                        config: HawkesConfig, processes: tuple[str, ...],
+                        basis: LagBasis, priors: Priors,
+                        progress: Callable[[int, int], None] | None,
+                        n_jobs: int | None, chunk_size: int | None,
+                        memoize_events: bool) -> InfluenceResult:
+    """Batched-engine corpus fit: each parallel task is one packed batch.
+
+    The corpus is split into contiguous batches of at most
+    :data:`MAX_BATCH_CASCADES` cascades; ``parallel_map`` then fans the
+    *batches* out over workers, so each worker runs one array program
+    per batch instead of N tiny per-URL fits.  Cascades never interact
+    inside a batch, so the per-URL results are bit-identical for every
+    batch size and worker count.
+    """
+    n_urls = len(cascades)
+    workers = resolve_n_jobs(n_jobs)
+    if chunk_size is None:
+        chunk_size = (auto_chunk_size(n_urls, workers)
+                      if workers > 1 else n_urls)
+    batch_size = max(1, min(chunk_size, MAX_BATCH_CASCADES))
+    batches = [cascades[start:stop]
+               for start, stop in iter_chunks(n_urls, batch_size)]
+    fit_batch = partial(
+        _fit_batch, config=config, processes=processes, basis=basis,
+        priors=priors, memoize_events=memoize_events)
+    batch_progress = None
+    if progress is not None:
+        def batch_progress(done: int, total: int) -> None:
+            progress(min(done * batch_size, n_urls), n_urls)
+    with span("fit_corpus", urls=n_urls, method="em", engine="batched",
+              n_jobs=n_jobs):
+        nested = parallel_map(fit_batch, batches, n_jobs=n_jobs,
+                              chunk_size=1, progress=batch_progress)
+    fits = [fit for batch in nested for fit in batch]
+    return InfluenceResult(processes=processes, fits=fits)
 
 
 # ---------------------------------------------------------------------------
@@ -296,6 +393,11 @@ def aggregate_weights(result: InfluenceResult) -> WeightAggregate:
     mean_main = main.mean(axis=0)
     with np.errstate(divide="ignore", invalid="ignore"):
         pct = 100.0 * (mean_alt - mean_main) / mean_main
+    # A zero mainstream mean cell makes the ratio +/-Inf (or NaN for
+    # 0/0); mask to NaN so downstream consumers (report rendering, the
+    # JSON payload) see one well-defined "undefined" marker instead of
+    # formatting artifacts like "+inf%".
+    pct[~np.isfinite(pct)] = np.nan
     k = len(result.processes)
     pvalues = np.ones((k, k))
     for i in range(k):
@@ -362,8 +464,12 @@ def corpus_background_rates(result: InfluenceResult) -> CorpusSummary:
             present = fit.event_counts > 0
             url_counts += present.astype(np.int64)
             event_counts += fit.event_counts
-            bg_sum += fit.background
-            bg_n += 1
+            # Mean lambda0 over URLs where the process actually posted
+            # (same population as the `urls` column); averaging over
+            # every fit drags the mean toward the prior for processes
+            # absent from most URLs.
+            bg_sum += np.where(present, fit.background, 0.0)
+            bg_n += present.astype(np.int64)
         urls[category] = url_counts
         events[category] = event_counts
         with np.errstate(divide="ignore", invalid="ignore"):

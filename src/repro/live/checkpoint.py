@@ -23,8 +23,16 @@ def save_checkpoint(path: str | Path, state: dict) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {"version": CHECKPOINT_VERSION, "state": state}
     tmp = path.with_name(path.name + ".tmp")
-    with tmp.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            # allow_nan=False: a NaN/Inf smuggled into aggregator state
+            # would otherwise serialize as non-standard JSON that other
+            # parsers (and our own strict loads) reject — fail at write
+            # time, while the previous good checkpoint is still intact.
+            json.dump(payload, handle, allow_nan=False)
+    except ValueError:
+        tmp.unlink(missing_ok=True)
+        raise
     os.replace(tmp, path)
     return path
 

@@ -19,6 +19,7 @@ import numpy as np
 from ..config import HawkesConfig
 from ..obs import get_registry
 from ..core.influence import (
+    Engine,
     FitMethod,
     InfluenceResult,
     select_urls,
@@ -46,6 +47,9 @@ class RefitPolicy:
     #: Worker processes per refit (see :mod:`repro.parallel`); results
     #: are identical for any value, so this is purely a latency knob.
     n_jobs: int = 1
+    #: Corpus fit execution strategy; "batched" packs the window into
+    #: one array program per chunk (EM only, tolerance-equivalent).
+    engine: Engine = "per-url"
 
 
 @dataclass
@@ -98,7 +102,8 @@ class WindowedHawkesRefitter:
         # only requested) on the in-process n_jobs=1 path.
         result = fit_corpus(corpus, self.config, method=self.policy.method,
                             rng=rng, n_jobs=self.policy.n_jobs,
-                            memoize_events=self.policy.n_jobs == 1)
+                            memoize_events=self.policy.n_jobs == 1,
+                            engine=self.policy.engine)
         self.last_result = result
         self.n_refits += 1
         registry.histogram(

@@ -138,10 +138,14 @@ def _section_influence(data, max_urls: int, seed: int,
     twitter = HAWKES_PROCESSES.index("Twitter")
     td = HAWKES_PROCESSES.index("The_Donald")
     pol = HAWKES_PROCESSES.index("/pol/")
+    change = agg.percent_change[twitter, twitter]
+    # NaN marks cells where the mainstream mean is zero, so the percent
+    # change is undefined — render "n/a", never "+nan%".
+    change_text = f"{change:+.1f}%" if np.isfinite(change) else "n/a"
     parts.append(
         f"- W(Twitter→Twitter): {agg.mean_alternative[twitter, twitter]:.4f} "
         f"alternative vs {agg.mean_mainstream[twitter, twitter]:.4f} "
-        f"mainstream ({agg.percent_change[twitter, twitter]:+.1f}%)")
+        f"mainstream ({change_text})")
     pct = influence_percentages(result, ALT)
     parts.append(
         f"- influence on Twitter's alternative events: The_Donald "

@@ -182,6 +182,95 @@ class TestFitCorpusAndAggregation:
             aggregate_weights(result)
 
 
+def make_fit(url, category, *, weights=None, background=None,
+             event_counts=None):
+    from repro.core.influence import UrlFit
+    k = len(HAWKES_PROCESSES)
+    return UrlFit(
+        url=url, category=category,
+        background=np.zeros(k) if background is None else background,
+        weights=np.zeros((k, k)) if weights is None else weights,
+        event_counts=(np.zeros(k, dtype=np.int64) if event_counts is None
+                      else event_counts),
+        n_bins=100, log_likelihood=0.0)
+
+
+class TestBackgroundRatePresenceConditioning:
+    """Table 11 regression: mean lambda0 averages present URLs only."""
+
+    def test_absent_process_excluded_from_mean(self):
+        from repro.core.influence import InfluenceResult
+        k = len(HAWKES_PROCESSES)
+        pol = HAWKES_PROCESSES.index("/pol/")
+        # URL A: /pol/ posted, fitted lambda0 = 0.3.  URL B: /pol/
+        # absent (0 events), EM leaves lambda0 near the prior mean.
+        bg_a = np.full(k, 0.1)
+        bg_a[pol] = 0.3
+        counts_a = np.ones(k, dtype=np.int64)
+        bg_b = np.full(k, 0.1)
+        bg_b[pol] = 0.01  # prior-driven value for an absent process
+        counts_b = np.ones(k, dtype=np.int64)
+        counts_b[pol] = 0
+        result = InfluenceResult(processes=HAWKES_PROCESSES, fits=[
+            make_fit("a", ALT, background=bg_a, event_counts=counts_a),
+            make_fit("b", ALT, background=bg_b, event_counts=counts_b),
+        ])
+        summary = corpus_background_rates(result)
+        # Present-only mean: 0.3 from one URL, not (0.3 + 0.01) / 2.
+        assert summary.mean_background[ALT][pol] == pytest.approx(0.3)
+        assert summary.urls[ALT][pol] == 1
+        # Processes present in both URLs still average over both.
+        other = HAWKES_PROCESSES.index("Twitter")
+        assert summary.mean_background[ALT][other] == pytest.approx(0.1)
+
+    def test_never_present_process_reports_zero(self):
+        from repro.core.influence import InfluenceResult
+        k = len(HAWKES_PROCESSES)
+        counts = np.zeros(k, dtype=np.int64)
+        counts[0] = 3
+        result = InfluenceResult(processes=HAWKES_PROCESSES, fits=[
+            make_fit("a", ALT, background=np.full(k, 0.2),
+                     event_counts=counts)])
+        summary = corpus_background_rates(result)
+        absent = summary.mean_background[ALT][1:]
+        assert np.all(absent == 0.0)
+        assert summary.mean_background[ALT][0] == pytest.approx(0.2)
+
+
+class TestPercentChangeMasking:
+    """Figure 10 regression: undefined ratio cells are NaN, never Inf."""
+
+    @staticmethod
+    def _result_with_zero_mainstream_cell():
+        from repro.core.influence import InfluenceResult
+        k = len(HAWKES_PROCESSES)
+        w_alt = np.full((k, k), 0.2)
+        w_main = np.full((k, k), 0.1)
+        w_main[0, 0] = 0.0  # mainstream mean zero, alternative nonzero
+        w_alt[1, 1] = 0.0
+        w_main[1, 1] = 0.0  # both zero: 0/0
+        return InfluenceResult(processes=HAWKES_PROCESSES, fits=[
+            make_fit("a", ALT, weights=w_alt),
+            make_fit("m", MAIN, weights=w_main),
+        ])
+
+    def test_non_finite_cells_become_nan(self):
+        agg = aggregate_weights(self._result_with_zero_mainstream_cell())
+        assert np.isnan(agg.percent_change[0, 0])  # x/0 was +Inf
+        assert np.isnan(agg.percent_change[1, 1])  # 0/0 was NaN
+        finite = agg.percent_change[np.isfinite(agg.percent_change)]
+        assert np.all(finite == pytest.approx(100.0))
+        assert not np.isinf(agg.percent_change).any()
+
+    def test_masked_cells_serialize_as_null(self):
+        from repro.api.serialize import influence_payload
+        payload = influence_payload(self._result_with_zero_mainstream_cell())
+        change = payload["percent_change"]
+        assert change[0][0] is None
+        assert change[1][1] is None
+        assert change[0][1] == pytest.approx(100.0)
+
+
 class TestInfluencePercentageFormula:
     def test_hand_computed(self):
         from repro.core.influence import InfluenceResult, UrlFit

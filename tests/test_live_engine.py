@@ -135,6 +135,35 @@ def test_cli_live_smoke(tmp_path, capsys):
     assert second == first  # identical stream replay adds nothing
 
 
+class TestCheckpointStrictness:
+    """Checkpoints are strict JSON: non-finite state fails at write time."""
+
+    def test_clean_state_round_trips(self, tmp_path):
+        from repro.live import load_checkpoint, save_checkpoint
+        state = {"records_seen": 42, "rates": [0.5, 1.25], "label": "ok"}
+        path = save_checkpoint(tmp_path / "ckpt.json", state)
+        assert load_checkpoint(path) == state
+
+    def test_poisoned_state_raises_and_leaves_no_file(self, tmp_path):
+        from repro.live import save_checkpoint
+        target = tmp_path / "ckpt.json"
+        poisoned = {"records_seen": 1, "rates": [0.5, float("nan")]}
+        with pytest.raises(ValueError):
+            save_checkpoint(target, poisoned)
+        # Neither the checkpoint nor the temp file may survive.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_poisoned_state_never_clobbers_previous_checkpoint(
+            self, tmp_path):
+        from repro.live import load_checkpoint, save_checkpoint
+        target = tmp_path / "ckpt.json"
+        good = {"records_seen": 7}
+        save_checkpoint(target, good)
+        with pytest.raises(ValueError):
+            save_checkpoint(target, {"records_seen": float("inf")})
+        assert load_checkpoint(target) == good
+
+
 def test_incremental_runs_drop_no_records(collected):
     """Repeated run(limit=N) drains the bus without losing merge state."""
     from repro.live import dataset_source

@@ -74,3 +74,46 @@ class TestFigureSeries:
         path = write_series(tmp_path / "empty.csv", {"a": []})
         content = path.read_text().strip()
         assert content == "a"
+
+
+class TestInfluenceSectionRendering:
+    """Figure 10 report regression: undefined percent change is 'n/a'."""
+
+    @staticmethod
+    def _fake_influence(twitter_main_mean):
+        from repro.config import HAWKES_PROCESSES
+        from repro.core.influence import InfluenceResult, UrlFit
+        from repro.news.domains import NewsCategory
+        k = len(HAWKES_PROCESSES)
+        twitter = HAWKES_PROCESSES.index("Twitter")
+
+        def fit(url, category, tt_weight):
+            weights = np.full((k, k), 0.05)
+            weights[twitter, twitter] = tt_weight
+            counts = np.ones(k, dtype=np.int64)
+            return UrlFit(url=url, category=category,
+                          background=np.full(k, 0.01), weights=weights,
+                          event_counts=counts, n_bins=50,
+                          log_likelihood=-1.0)
+        fits = [fit("a", NewsCategory.ALTERNATIVE, 0.4),
+                fit("m", NewsCategory.MAINSTREAM, twitter_main_mean)]
+        corpus = [object()] * 4  # only len() is used when result is given
+        return corpus, InfluenceResult(processes=HAWKES_PROCESSES,
+                                       fits=fits)
+
+    def test_zero_mainstream_mean_renders_na(self):
+        from repro.reporting.study import _section_influence
+        corpus, result = self._fake_influence(twitter_main_mean=0.0)
+        text = _section_influence(None, max_urls=4, seed=0,
+                                  corpus=corpus, result=result)
+        assert "(n/a)" in text
+        assert "nan" not in text
+        assert "inf%" not in text
+
+    def test_finite_percent_change_still_rendered(self):
+        from repro.reporting.study import _section_influence
+        corpus, result = self._fake_influence(twitter_main_mean=0.2)
+        text = _section_influence(None, max_urls=4, seed=0,
+                                  corpus=corpus, result=result)
+        assert "+100.0%" in text
+        assert "n/a" not in text

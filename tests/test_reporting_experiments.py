@@ -47,10 +47,13 @@ class TestGenerateMarkdown:
 
     def test_uses_real_results_when_present(self):
         results = Path("results")
-        # The dir may hold only machine-readable benchmark JSON (e.g.
-        # BENCH_core_fitters.json); rendered artifacts are .txt files.
-        if not any(results.glob("*.txt")):
-            pytest.skip("results/ artifacts not generated")
+        # The dir may hold benchmark-only artifacts (BENCH_*.json,
+        # throughput tables); only the registered experiment artifacts
+        # feed generate_markdown, so gate the check on those.
+        generated = sum((results / e.artifact).exists()
+                        for e in EXPERIMENTS)
+        if generated < 2:
+            pytest.skip("results/ experiment artifacts not generated")
         text = generate_markdown(results)
-        # at least some artifacts should be embedded
-        assert text.count("```") >= 4
+        # each present artifact should be embedded as a fenced block
+        assert text.count("```") >= 2 * generated
