@@ -25,7 +25,7 @@ from importlib import metadata as _metadata
 try:
     __version__ = _metadata.version("repro-web-centipede")
 except _metadata.PackageNotFoundError:  # running from a source checkout
-    __version__ = "1.2.0"
+    __version__ = "1.3.0"
 
 from . import (
     analysis,

@@ -64,13 +64,19 @@ def _route_label(path: str) -> str:
 
 
 class _Response(tuple):
-    """(status, etag or None, body bytes, content type) quadruple."""
+    """(status, etag or None, body, content type, extra headers) tuple."""
 
     __slots__ = ()
 
     def __new__(cls, status: int, etag: str | None, body: bytes,
-                content_type: str = CONTENT_TYPE_JSON):
-        return super().__new__(cls, (status, etag, body, content_type))
+                content_type: str = CONTENT_TYPE_JSON,
+                extra_headers: tuple[tuple[str, str], ...] = ()):
+        return super().__new__(
+            cls, (status, etag, body, content_type, extra_headers))
+
+
+#: RFC 7234 header attached to stale-while-revalidate responses.
+_STALE_WARNING = ("Warning", '110 repro-serve "Response is Stale"')
 
 
 def _error(status: int, message: str) -> _Response:
@@ -106,11 +112,19 @@ class StudyService:
         self._body_cache: OrderedDict[str, bytes] = OrderedDict()
         self._body_cache_max = 256
         self._cache_lock = threading.Lock()
-        version = _package_version()
+        #: Last successfully built (etag, body) per logical resource,
+        #: served stale (with a Warning header) when a rebuild raises.
+        self._last_good: dict[str, tuple[str, bytes]] = {}
+        #: component -> failure description; populated when a resource
+        #: falls back to a stale body, cleared on the next clean build.
+        self._degraded: dict[str, str] = {}
+        #: In-flight request accounting for graceful drain().
+        self._in_flight = 0
+        self._in_flight_zero = threading.Condition(self._stats_lock)
+        self._draining = False
+        self._version = _package_version()
         self._experiments_body = canonical_bytes(experiments_payload())
         self._experiments_etag = f'"{payload_key(experiments_payload())}"'
-        self._health_body = canonical_bytes(
-            {"status": "ok", "version": version})
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -130,6 +144,43 @@ class StudyService:
 
     def close(self) -> None:
         self.httpd.server_close()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        Marks the service as draining (responses start carrying
+        ``Connection: close`` so keep-alive clients release their
+        sockets), stops the accept loop, waits up to ``timeout``
+        seconds for in-flight requests to finish, then closes the
+        listening socket.  Returns ``True`` if everything drained in
+        time.
+        """
+        with self._stats_lock:
+            self._draining = True
+        self.httpd.shutdown()
+        with self._in_flight_zero:
+            drained = self._in_flight_zero.wait_for(
+                lambda: self._in_flight == 0, timeout=timeout)
+        self.close()
+        if not drained:
+            logger.warning("drain timed out with %d requests in flight",
+                           self._in_flight)
+        return drained
+
+    # -- in-flight accounting (called by the HTTP handler) ------------------
+
+    def _request_started(self) -> None:
+        with self._stats_lock:
+            self._in_flight += 1
+
+    def _request_finished(self) -> bool:
+        """Decrement in-flight; returns True when the service is draining."""
+        with self._in_flight_zero:
+            self._in_flight -= 1
+            draining = self._draining
+            if self._in_flight == 0:
+                self._in_flight_zero.notify_all()
+        return draining
 
     # -- routing ------------------------------------------------------------
 
@@ -158,7 +209,7 @@ class StudyService:
     def _route(self, path: str, query: dict[str, list[str]],
                if_none_match: str | None = None) -> _Response:
         if path in ("/healthz", "/healthz/"):
-            return _Response(200, None, self._health_body)
+            return _Response(200, None, self._health_payload())
         if path in ("/experiments", "/experiments/"):
             if _etag_matches(self._experiments_etag.strip('"'),
                              _strip_quotes(if_none_match)):
@@ -205,6 +256,51 @@ class StudyService:
                          render_prometheus(snapshot).encode("utf-8"),
                          CONTENT_TYPE_PROMETHEUS)
 
+    def _health_payload(self) -> bytes:
+        """Liveness body; reports components serving stale results."""
+        with self._cache_lock:
+            degraded = dict(self._degraded)
+        if not degraded:
+            return canonical_bytes(
+                {"status": "ok", "version": self._version})
+        return canonical_bytes({"status": "degraded",
+                                "version": self._version,
+                                "degraded": degraded})
+
+    def _build_fresh(self, component: str, etag: str,
+                     build: Callable[[], bytes]) -> _Response:
+        """Build a cacheable body, falling back to the last-good copy.
+
+        On a build failure the most recent successful body for
+        ``component`` is served with HTTP 200 plus a ``Warning: 110``
+        header (stale-while-revalidate): readers keep getting answers
+        while the operator sees the component flagged degraded on
+        ``/healthz`` and in ``repro_serve_stale_total``.  With no
+        last-good copy the error propagates as before.
+        """
+        try:
+            body = self._body(etag, build)
+        except Exception as exc:
+            failure = f"{type(exc).__name__}: {exc}"
+            with self._cache_lock:
+                stale = self._last_good.get(component)
+                self._degraded[component] = failure
+            if stale is None:
+                raise
+            self.metrics.counter(
+                "repro_serve_stale_total",
+                "Responses served from the last-good body after a "
+                "rebuild failure.", component=component).inc()
+            logger.warning("serving stale %s after rebuild failure (%s)",
+                           component, failure)
+            stale_etag, stale_body = stale
+            return _Response(200, stale_etag, stale_body,
+                             extra_headers=(_STALE_WARNING,))
+        with self._cache_lock:
+            self._last_good[component] = (etag, body)
+            self._degraded.pop(component, None)
+        return _Response(200, etag, body)
+
     def _respond_table(self, path: str,
                        if_none_match: str | None) -> _Response:
         suffix = path.removeprefix("/tables/").rstrip("/")
@@ -217,9 +313,9 @@ class StudyService:
         etag = self.study.etag(f"table:{table_id}")
         if _etag_matches(etag.strip('"'), _strip_quotes(if_none_match)):
             return _Response(304, etag, b"")
-        body = self._body(etag, lambda: canonical_bytes(
-            self.study.table(table_id).to_payload()))
-        return _Response(200, etag, body)
+        return self._build_fresh(
+            f"table:{table_id}", etag,
+            lambda: canonical_bytes(self.study.table(table_id).to_payload()))
 
     def _respond_influence(self, query: dict[str, list[str]],
                            if_none_match: str | None) -> _Response:
@@ -257,11 +353,11 @@ class StudyService:
             filtered["view"] = view  # present in filtered and full bodies
             return canonical_bytes(filtered)
 
+        component = f"influence:{view}:{category}:{source}:{destination}"
         try:
-            body = self._body(etag, build)
+            return self._build_fresh(component, etag, build)
         except LookupError as exc:
             return _error(404, str(exc))
-        return _Response(200, etag, body)
 
     def _body(self, etag: str, build: Callable[[], bytes]) -> bytes:
         with self._cache_lock:
@@ -305,23 +401,32 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle(self, send_body: bool) -> None:
         split = urlsplit(self.path)
         service: StudyService = self.server.service  # type: ignore[attr-defined]
+        service._request_started()
         try:
-            status, etag, body, content_type = service.respond(
-                split.path, parse_qs(split.query),
-                self.headers.get("If-None-Match"))
-        except Exception as exc:  # never kill the worker thread
-            status, etag, body, content_type = _error(
-                500, f"{type(exc).__name__}: {exc}")
-        self.send_response(status)
-        if etag:
-            self.send_header("ETag", etag)
-            self.send_header("Cache-Control", "no-cache")
-        if status != 304:
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        if send_body and status != 304 and body:
-            self.wfile.write(body)
+            try:
+                status, etag, body, content_type, extra = service.respond(
+                    split.path, parse_qs(split.query),
+                    self.headers.get("If-None-Match"))
+            except Exception as exc:  # never kill the worker thread
+                status, etag, body, content_type, extra = _error(
+                    500, f"{type(exc).__name__}: {exc}")
+            self.send_response(status)
+            if etag:
+                self.send_header("ETag", etag)
+                self.send_header("Cache-Control", "no-cache")
+            for header, value in extra:
+                self.send_header(header, value)
+            if status != 304:
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            if send_body and status != 304 and body:
+                self.wfile.write(body)
+        finally:
+            if service._request_finished():
+                # Draining: make keep-alive clients drop the socket so
+                # the connection threads exit promptly.
+                self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._handle(send_body=True)

@@ -22,6 +22,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -35,11 +36,46 @@ import numpy as np
 
 from ..obs import DEFAULT_TIME_BUCKETS, get_registry
 
+logger = logging.getLogger("repro.api.store")
+
 #: Bump to invalidate every stored artifact when stage semantics change.
 SCHEMA_VERSION = 1
 
 #: Sentinel distinguishing "stored None" from "absent".
 MISSING = object()
+
+#: On-disk object framing: magic + sha256 hex of the payload + newline,
+#: then the pickled payload.  Loads verify the digest, so silent disk
+#: corruption (bit rot, torn writes that survived rename) is detected
+#: and quarantined instead of being unpickled into garbage.
+OBJECT_MAGIC = b"repro-obj1\x00"
+
+
+def _frame_object(data: bytes) -> bytes:
+    sha = hashlib.sha256(data).hexdigest().encode("ascii")
+    return OBJECT_MAGIC + sha + b"\n" + data
+
+
+class CorruptObjectError(ValueError):
+    """A stored object failed its integrity check."""
+
+
+def _unframe_object(blob: bytes) -> bytes:
+    """Verified payload of a framed object (legacy blobs pass through)."""
+    if not blob.startswith(OBJECT_MAGIC):
+        # Pre-framing cache file: no digest to verify against.
+        return blob
+    header_end = len(OBJECT_MAGIC) + 64
+    if len(blob) <= header_end or blob[header_end:header_end + 1] != b"\n":
+        raise CorruptObjectError("truncated object header")
+    expected = blob[len(OBJECT_MAGIC):header_end]
+    data = blob[header_end + 1:]
+    actual = hashlib.sha256(data).hexdigest().encode("ascii")
+    if actual != expected:
+        raise CorruptObjectError(
+            f"object digest mismatch (stored {expected.decode()!r}, "
+            f"actual {actual.decode()!r})")
+    return data
 
 
 # ---------------------------------------------------------------------------
@@ -140,12 +176,23 @@ class ArtifactStore:
             load_start = perf_counter()
             try:
                 with path.open("rb") as handle:
-                    data = handle.read()
-                value = pickle.loads(data)
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError):
-                pass
-            else:
+                    blob = handle.read()
+            except OSError:
+                blob = None
+            if blob is not None:
+                try:
+                    data = _unframe_object(blob)
+                    value = pickle.loads(data)
+                except (CorruptObjectError, pickle.UnpicklingError,
+                        EOFError, AttributeError, ImportError,
+                        IndexError) as exc:
+                    # A corrupt object is evicted into quarantine/, so
+                    # the next put() rewrites a good copy and repeated
+                    # gets don't re-read the damage; the caller sees a
+                    # plain miss and recomputes transparently.
+                    self._quarantine_object(key, path, exc)
+                    blob = None
+            if blob is not None:
                 registry.histogram(
                     "repro_store_load_seconds",
                     "Wall time to read+unpickle one artifact from disk.",
@@ -181,11 +228,29 @@ class ArtifactStore:
             path = self._object_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            self._atomic_write(path, data)
+            self._atomic_write(path, _frame_object(data))
             get_registry().counter(
                 "repro_store_bytes_written_total",
                 "Bytes serialized into the disk layer.").inc(len(data))
         return key
+
+    def _quarantine_object(self, key: str, path: Path, exc: Exception,
+                           ) -> None:
+        """Evict a corrupt/unreadable object file out of the cache."""
+        assert self.root is not None
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:  # already evicted by a racing reader, or gone
+            pass
+        get_registry().counter(
+            "repro_store_corrupt_total",
+            "Stored objects that failed verification or unpickling "
+            "and were quarantined.").inc()
+        logger.warning("quarantined corrupt artifact %s (%s: %s); "
+                       "it will be recomputed", key,
+                       type(exc).__name__, exc)
 
     def stats(self) -> dict:
         """Cache effectiveness counters, cheap enough for every /stages.

@@ -164,20 +164,39 @@ def cmd_live(args: argparse.Namespace) -> int:
         print("--resume needs --checkpoint", file=sys.stderr)
         return 2
     if args.replay:
-        sources = []
+        factories = []
         taken: set[str] = set()
         for i, path in enumerate(args.replay):
             name = Path(path).stem
             if name in taken:
                 name = f"{name}#{i}"
             taken.add(name)
-            sources.append((name, jsonl_source(path)))
+            factories.append((name, lambda p=path: jsonl_source(p)))
     else:
-        from .pipeline import stream_sources
+        from .pipeline import stream_source_factories
         from .synthesis.world import build_world
         print("generating world ...")
         world = build_world(_world_config(args))
-        sources = stream_sources(world, stream_seed=args.seed)
+        factories = stream_source_factories(world, stream_seed=args.seed)
+    quarantine = None
+    if args.chaos_seed is not None or args.quarantine is not None:
+        # Supervised ingest: transient faults restart the source with
+        # deterministic replay; malformed records go to the quarantine
+        # sidecar instead of killing the run.  --chaos-seed injects a
+        # reproducible fault schedule in front of each source.
+        from .resilience import FaultPlan, Quarantine, supervised_source
+        quarantine = Quarantine(args.quarantine)
+        plan = (FaultPlan(args.chaos_seed)
+                if args.chaos_seed is not None else None)
+        sources = []
+        for name, factory in factories:
+            if plan is not None:
+                faults = plan.source(name)
+                factory = (lambda f=factory, inj=faults: inj.wrap(f()))
+            sources.append((name, supervised_source(
+                name, factory, quarantine=quarantine)))
+    else:
+        sources = [(name, factory()) for name, factory in factories]
     bus = EventBus(sources)
     refitter = None
     if not args.skip_refit:
@@ -230,6 +249,12 @@ def cmd_live(args: argparse.Namespace) -> int:
         fits = refitter.last_result.fits
         print(f"last refit: {len(fits)} URLs fitted "
               f"({refitter.n_refits} refits total)")
+    if quarantine is not None:
+        where = (f" -> {args.quarantine}"
+                 if args.quarantine is not None else "")
+        print(f"quarantined {quarantine.count} records{where}")
+        for reason, count in sorted(quarantine.by_reason().items()):
+            print(f"  {count:6d}  {reason}")
     return 0
 
 
@@ -288,20 +313,46 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve tables and influence results over HTTP (JSON + ETag/304)."""
+    """Serve tables and influence results over HTTP (JSON + ETag/304).
+
+    SIGTERM and SIGINT trigger a graceful shutdown: the accept loop
+    stops, in-flight requests finish (bounded wait), then the socket
+    closes — so ``kill`` during a long table render never truncates a
+    response mid-body.
+    """
+    import signal
+    import threading
     from .api import StudyService
     study = _study(args)
     service = StudyService(study, host=args.host, port=args.port)
     print(f"serving http://{args.host}:{service.port}/ "
           "(endpoints: /healthz /experiments /tables/<1-11> "
           "/influence /stages /metrics)")
+    stop = threading.Event()
+    previous = {}
     try:
-        service.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(
+                signum, lambda *_: stop.set())
+    except ValueError:  # not the main thread (embedded use): no signals
+        pass
+    server = threading.Thread(target=service.serve_forever,
+                              name="repro-serve", daemon=True)
+    server.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # signal handler not installed
+        pass
     finally:
-        service.close()
-    return 0
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("shutting down (draining in-flight requests)")
+        drained = service.drain()
+        server.join(timeout=5.0)
+        if not drained:
+            print("drain timed out; some requests were cut off",
+                  file=sys.stderr)
+    return 0 if drained else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -386,6 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--skip-refit", action="store_true")
     live.add_argument("--refit-every", type=int, default=25000)
     live.add_argument("--refit-max-urls", type=int, default=50)
+    live.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                      help="inject a seeded, reproducible fault schedule "
+                           "(transient source errors + malformed records) "
+                           "in front of every source; implies supervised "
+                           "ingest")
+    live.add_argument("--quarantine", default=None, metavar="JSONL",
+                      help="supervise sources and append quarantined "
+                           "records to this dead-letter sidecar")
     _add_jobs_arg(live)
     _add_engine_arg(live)
     _add_cache_arg(live)
@@ -455,8 +514,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    _configure_logging(getattr(args, "verbose", 0))
-    return args.func(args)
+    verbosity = getattr(args, "verbose", 0)
+    _configure_logging(verbosity)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # One-line diagnosis for operators; the full traceback is a
+        # debugging tool, available on request via -vv.
+        if verbosity >= 2:
+            raise
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,6 +9,7 @@ every analysis module consumes.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -172,14 +173,66 @@ class Dataset:
         return cls(iter_jsonl(path))
 
 
-def iter_jsonl(path: str | Path) -> Iterator[DatasetRecord]:
+class MalformedRecordError(ValueError):
+    """A JSONL line could not be parsed into a :class:`DatasetRecord`."""
+
+
+class TruncatedRecordError(MalformedRecordError):
+    """The final JSONL line is an incomplete write (no trailing newline).
+
+    A crashed or still-running writer leaves a partial last line; unlike
+    a malformed record mid-file, this is expected after an unclean
+    shutdown and callers often want to skip it and resume appending.
+    """
+
+
+def iter_jsonl(path: str | Path, *,
+               on_malformed: str = "raise",
+               ) -> Iterator[DatasetRecord]:
     """Stream records from a JSONL file one line at a time.
 
     Never materializes the whole file; usable directly as an event-bus
     source for replaying a saved dataset (see :mod:`repro.live.bus`).
+
+    ``on_malformed`` controls what happens when a line does not parse:
+
+    * ``"raise"`` (default) — raise :class:`MalformedRecordError`
+      naming the file and line number, or the sharper
+      :class:`TruncatedRecordError` when the bad line is the *last*
+      line and lacks its trailing newline (the signature of a torn
+      final write).
+    * ``"skip"`` — log a warning, count the line in
+      ``repro_ingest_malformed_total``, and continue with the next.
     """
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
+    if on_malformed not in ("raise", "skip"):
+        raise ValueError(f"on_malformed must be 'raise' or 'skip', "
+                         f"not {on_malformed!r}")
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
                 yield DatasetRecord.from_json(line)
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                truncated = not raw.endswith("\n")
+                if on_malformed == "raise":
+                    if truncated:
+                        raise TruncatedRecordError(
+                            f"{path}:{lineno}: truncated final record "
+                            f"(file ends mid-line; incomplete write?): "
+                            f"{type(exc).__name__}: {exc}") from exc
+                    raise MalformedRecordError(
+                        f"{path}:{lineno}: malformed record: "
+                        f"{type(exc).__name__}: {exc}") from exc
+                from ..obs import get_registry
+                reason = "truncated" if truncated else "malformed"
+                get_registry().counter(
+                    "repro_ingest_malformed_total",
+                    "JSONL lines skipped because they failed to parse.",
+                    reason=reason).inc()
+                logging.getLogger("repro.collection").warning(
+                    "skipping %s record at %s:%d (%s: %s)",
+                    reason, path, lineno, type(exc).__name__, exc)

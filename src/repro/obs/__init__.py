@@ -59,6 +59,22 @@ chunk results, and merged deterministically ::
     repro_http_request_seconds{route}       histogram  per-route request latency
     repro_http_not_modified_ratio           gauge      304s / requests, set on scrape
 
+**Fault tolerance** (:mod:`repro.resilience` and the layers it
+hardens) ::
+
+    repro_faults_injected_total{site,kind}  counter    deterministic injected faults
+    repro_ingest_quarantined_total{source,reason} counter  dead-lettered records
+    repro_ingest_malformed_total{reason}    counter    JSONL lines skipped on parse failure
+    repro_source_restarts_total{source}     counter    supervised source restarts
+    repro_source_dead_total{source}         counter    sources abandoned after retries
+    repro_retry_attempts_total{site}        counter    retry_call re-invocations
+    repro_parallel_chunk_retries_total      counter    chunk re-dispatches (transient faults)
+    repro_parallel_pool_respawns_total      counter    pools respawned after breakage
+    repro_parallel_serial_fallback_total    counter    maps finished serially after
+                                                       repeated pool breakage
+    repro_store_corrupt_total               counter    corrupt artifacts quarantined
+    repro_serve_stale_total{component}      counter    responses served from last-good
+
 Access
 ======
 

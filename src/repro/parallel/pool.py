@@ -10,6 +10,16 @@ the output order never depends on completion order.
 ``n_jobs=1`` (the default everywhere) runs a plain in-process loop:
 no pool, no pickling, closures allowed — the exact code path the
 parallel branch must match bit-for-bit.
+
+Fault tolerance: a chunk that fails with a *transient* fault
+(:class:`repro.resilience.TransientFault`) is re-dispatched with its
+original items — task seeds were spawned before dispatch, so the retry
+is bit-identical — up to :data:`TRANSIENT_RETRIES` times.  A worker
+crash that kills the pool (``BrokenProcessPool``) triggers a pool
+respawn for the unfinished chunks, and if the pool breaks repeatedly
+the survivors run serially in-process.  Non-transient task exceptions
+keep the historical fail-fast contract: they propagate immediately and
+cancel not-yet-started chunks.
 """
 
 from __future__ import annotations
@@ -17,11 +27,18 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..obs import DEFAULT_TIME_BUCKETS, collecting, get_registry
+from ..resilience.faults import WORKER_FAULTS_ENV, maybe_inject_worker_fault
+from ..resilience.retry import TransientFault
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -29,6 +46,13 @@ R = TypeVar("R")
 #: Chunks per worker the corpus is split into; >1 lets fast workers
 #: steal work from the shared queue, at slightly higher dispatch cost.
 OVERSUBSCRIPTION = 4
+
+#: Re-dispatches of a chunk that failed with a transient fault.
+TRANSIENT_RETRIES = 2
+
+#: Pool respawns after a BrokenProcessPool before falling back to
+#: running the unfinished chunks serially in-process.
+MAX_POOL_RESPAWNS = 1
 
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
@@ -81,6 +105,8 @@ def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T],
     Merging is order-independent, so the nondeterministic completion
     order of the pool never changes the totals.
     """
+    if os.environ.get(WORKER_FAULTS_ENV):
+        maybe_inject_worker_fault()
     with collecting() as registry:
         histogram = _task_seconds(registry)
         chunk_start = perf_counter()
@@ -104,10 +130,27 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
+def _retry_serial(fn: Callable[[T], R], item: T, exc: TransientFault,
+                  retries: int, registry) -> R:
+    """In-process transient-fault retry: re-invoke up to ``retries`` times."""
+    last = exc
+    for _ in range(retries):
+        registry.counter(
+            "repro_parallel_chunk_retries_total",
+            "Chunk (or serial task) re-dispatches after transient "
+            "faults.").inc()
+        try:
+            return fn(item)
+        except TransientFault as again:
+            last = again
+    raise last
+
+
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
                  n_jobs: int | None = 1,
                  chunk_size: int | None = None,
                  progress: Callable[[int, int], None] | None = None,
+                 retries: int = TRANSIENT_RETRIES,
                  ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -115,9 +158,20 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
 
     * the result equals ``[fn(x) for x in items]`` for every
       ``n_jobs``/``chunk_size`` combination (ordered reassembly);
-    * ``fn`` is called exactly once per item;
-    * a task exception propagates to the caller and cancels
+    * ``fn`` is called once per item, except that a chunk failing with
+      a :class:`~repro.resilience.TransientFault` (or losing its
+      worker) is re-dispatched whole — for a pure ``fn`` the retry is
+      bit-identical, since each task's seed was fixed before dispatch;
+    * any other task exception propagates to the caller and cancels
       not-yet-started chunks.
+
+    ``retries`` bounds transient re-dispatches per chunk (``0``
+    restores strict fail-fast even for transient faults).  A
+    ``BrokenProcessPool`` — a worker died without raising — is handled
+    separately: the pool is respawned for the unfinished chunks, and
+    after :data:`MAX_POOL_RESPAWNS` breakages the survivors run
+    serially in-process, where the underlying error (if deterministic)
+    finally surfaces.
 
     ``progress(done, total)`` is invoked after each completed item
     (serial) or chunk (parallel); ``done`` is monotone and reaches
@@ -135,7 +189,13 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
         results: list[R] = []
         for done, item in enumerate(items, start=1):
             task_start = perf_counter()
-            results.append(fn(item))
+            try:
+                results.append(fn(item))
+            except TransientFault as exc:
+                if retries <= 0:
+                    raise
+                results.append(
+                    _retry_serial(fn, item, exc, retries, registry))
             histogram.observe(perf_counter() - task_start)
             if progress is not None:
                 progress(done, total)
@@ -150,26 +210,94 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
     done = 0
     busy_total = 0.0
     map_start = perf_counter()
-    with ProcessPoolExecutor(max_workers=n_jobs,
-                             mp_context=_pool_context()) as pool:
-        future_spans = {
-            pool.submit(_run_chunk, fn, items[start:stop]): (start, stop)
-            for start, stop in iter_chunks(total, chunk_size)
-        }
+    #: Chunks not yet completed, with their transient-failure counts.
+    unfinished: dict[tuple[int, int], int] = {
+        span: 0 for span in iter_chunks(total, chunk_size)}
+    respawns = 0
+    while unfinished:
         try:
-            for future in as_completed(future_spans):
-                start, stop = future_spans[future]
-                out[start:stop], busy, worker_snapshot = future.result()
-                busy_total += busy
-                registry.merge_snapshot(worker_snapshot)
-                registry.counter("repro_parallel_chunks_total").inc()
-                done += stop - start
-                if progress is not None:
-                    progress(done, total)
-        except BaseException:
-            for future in future_spans:
-                future.cancel()
-            raise
+            with ProcessPoolExecutor(max_workers=n_jobs,
+                                     mp_context=_pool_context()) as pool:
+                pending = {
+                    pool.submit(_run_chunk, fn, items[start:stop]):
+                        (start, stop)
+                    for start, stop in unfinished
+                }
+                try:
+                    while pending:
+                        completed, _ = wait(pending,
+                                            return_when=FIRST_COMPLETED)
+                        for future in completed:
+                            start, stop = span = pending.pop(future)
+                            try:
+                                chunk_out, busy, worker_snapshot = (
+                                    future.result())
+                            except BrokenProcessPool:
+                                raise  # respawn loop below
+                            except TransientFault:
+                                attempts = unfinished[span] + 1
+                                if attempts > retries:
+                                    raise
+                                unfinished[span] = attempts
+                                registry.counter(
+                                    "repro_parallel_chunk_retries_total",
+                                    "Chunk (or serial task) re-dispatches "
+                                    "after transient faults.").inc()
+                                pending[pool.submit(
+                                    _run_chunk, fn,
+                                    items[start:stop])] = span
+                                continue
+                            out[start:stop] = chunk_out
+                            busy_total += busy
+                            registry.merge_snapshot(worker_snapshot)
+                            registry.counter(
+                                "repro_parallel_chunks_total").inc()
+                            del unfinished[span]
+                            done += stop - start
+                            if progress is not None:
+                                progress(done, total)
+                except BrokenProcessPool:
+                    raise
+                except BaseException:
+                    for future in pending:
+                        future.cancel()
+                    raise
+        except BrokenProcessPool:
+            respawns += 1
+            registry.counter(
+                "repro_parallel_pool_respawns_total",
+                "Worker pools respawned after a BrokenProcessPool.").inc()
+            if respawns > MAX_POOL_RESPAWNS:
+                # The pool keeps dying: finish in-process.  A chunk
+                # whose task deterministically fails now raises its
+                # real exception instead of BrokenProcessPool.
+                registry.counter(
+                    "repro_parallel_serial_fallback_total",
+                    "parallel_map calls that finished chunks serially "
+                    "after repeated pool breakage.").inc()
+                for start, stop in sorted(unfinished):
+                    attempts = unfinished[(start, stop)]
+                    while True:
+                        try:
+                            chunk_out, busy, worker_snapshot = _run_chunk(
+                                fn, items[start:stop])
+                            break
+                        except TransientFault:
+                            attempts += 1
+                            if attempts > retries:
+                                raise
+                            registry.counter(
+                                "repro_parallel_chunk_retries_total",
+                                "Chunk (or serial task) re-dispatches "
+                                "after transient faults.").inc()
+                    out[start:stop] = chunk_out
+                    busy_total += busy
+                    registry.merge_snapshot(worker_snapshot)
+                    registry.counter("repro_parallel_chunks_total").inc()
+                    done += stop - start
+                    if progress is not None:
+                        progress(done, total)
+                unfinished.clear()
     wall = perf_counter() - map_start
     registry.counter("repro_parallel_tasks_total").inc(total)
     registry.histogram("repro_parallel_map_seconds").observe(wall)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from .analysis import characterization as chz
 from .collection import (
@@ -129,6 +129,29 @@ def generate_and_collect(config: WorldConfig | None = None) -> CollectedData:
     return Study(world=config).data
 
 
+def stream_source_factories(world: World, stream_seed: int = 0,
+                            ) -> list[tuple[str,
+                                            Callable[[],
+                                                     Iterator[DatasetRecord]]]]:
+    """Restartable per-platform stream builders for the live event bus.
+
+    Each factory rebuilds its stream from the beginning and replays
+    deterministically (every ``stream()`` call re-sorts with a fresh
+    seeded RNG), which is exactly the contract
+    :func:`repro.resilience.supervised_source` needs to restart a
+    transiently failed source and skip already-delivered records.
+    """
+    return [
+        ("twitter", lambda: TwitterStreamCollector(
+            registry=world.registry,
+            seed=stream_seed).stream(world.twitter)),
+        ("reddit", lambda: RedditDumpReader(
+            registry=world.registry).stream(world.reddit)),
+        ("4chan", lambda: FourchanCrawler(
+            registry=world.registry).stream(world.fourchan)),
+    ]
+
+
 def stream_sources(world: World, stream_seed: int = 0,
                    ) -> list[tuple[str, Iterator[DatasetRecord]]]:
     """Per-platform record generators for the live event bus.
@@ -137,14 +160,8 @@ def stream_sources(world: World, stream_seed: int = 0,
     feeding these through :class:`repro.live.EventBus` yields the same
     records batch collection produces, one at a time.
     """
-    return [
-        ("twitter", TwitterStreamCollector(
-            registry=world.registry, seed=stream_seed).stream(world.twitter)),
-        ("reddit", RedditDumpReader(
-            registry=world.registry).stream(world.reddit)),
-        ("4chan", FourchanCrawler(
-            registry=world.registry).stream(world.fourchan)),
-    ]
+    return [(name, factory()) for name, factory
+            in stream_source_factories(world, stream_seed)]
 
 
 def influence_cascades(data: CollectedData) -> list[UrlCascade]:

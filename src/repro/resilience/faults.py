@@ -1,0 +1,260 @@
+"""Seeded, deterministic fault injection.
+
+Chaos testing is only trustworthy when the chaos replays: a
+:class:`FaultPlan` derives every fault site's schedule from one seed,
+so a fault-injected run is exactly reproducible — same transient
+errors at the same stream positions, same malformed records, same
+worker-crash count.  The headline property the chaos suites pin is
+that a faulted run's *results* are bit-identical to the fault-free
+run's once the hardening layers (supervised sources, chunk retry,
+store verification, stale serving) absorb the injected failures.
+
+Injection surfaces:
+
+* **Collector streams** — :meth:`FaultPlan.source` yields a
+  :class:`SourceFaults` whose :meth:`~SourceFaults.wrap` raises
+  :class:`~repro.resilience.retry.TransientSourceError` and inserts
+  malformed records at seeded stream positions.  Each fault fires
+  once: after a supervised restart the replayed stream is clean, which
+  is exactly how a real transient behaves.
+* **Parallel workers** — :func:`install_worker_faults` arms a bounded
+  number of chunk-level crashes via the environment (worker processes
+  inherit it); :func:`repro.parallel.parallel_map` consults
+  :func:`maybe_inject_worker_fault` at each chunk start.  ``raise``
+  mode throws a retryable :class:`SimulatedWorkerCrash`; ``exit`` mode
+  hard-kills the worker process, exercising pool respawn.
+* **Artifact-store IO** — :func:`corrupt_object` flips bytes in one
+  stored object file, exercising sha-verification + quarantine.
+* **Service handlers** — :meth:`FaultPlan.failing_calls` returns a
+  deterministic predicate usable to fail the first N calls of a
+  handler, exercising stale-while-revalidate.
+
+Every injected fault increments
+``repro_faults_injected_total{site,kind}``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..obs import get_registry
+from .retry import SimulatedWorkerCrash, TransientSourceError
+
+#: Environment variable arming worker-crash injection:
+#: ``<state_dir>:<crashes>:<raise|exit>``.
+WORKER_FAULTS_ENV = "REPRO_FAULT_WORKER"
+
+#: Exit code used by ``exit``-mode worker crashes (visible in pool logs).
+WORKER_CRASH_EXIT_CODE = 77
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How many faults of each kind a source site injects.
+
+    Positions are drawn without replacement from ``[1, horizon)`` of
+    the upstream stream; a stream shorter than the drawn positions
+    simply sees fewer faults.
+    """
+
+    transient_errors: int = 2
+    malformed_records: int = 2
+    horizon: int = 1000
+
+
+def _site_rng(seed: int, name: str) -> np.random.Generator:
+    """A per-site generator: pure function of ``(seed, name)``.
+
+    Stable across runs and independent across sites — two sites never
+    share a stream, so adding a site never perturbs another's schedule.
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def _count_fault(site: str, kind: str) -> None:
+    get_registry().counter(
+        "repro_faults_injected_total",
+        "Deterministic faults injected, by site and kind.",
+        site=site, kind=kind).inc()
+
+
+class SourceFaults:
+    """Seeded fault schedule for one record source.
+
+    The schedule is fixed at construction; the fired-set is mutable
+    state that persists across :meth:`wrap` calls, so a supervised
+    restart (which re-wraps the same :class:`SourceFaults`) replays the
+    stream *without* re-firing already-delivered faults.
+    """
+
+    def __init__(self, name: str, seed: int,
+                 spec: FaultSpec | None = None) -> None:
+        self.name = name
+        self.spec = spec = spec or FaultSpec()
+        n_faults = spec.transient_errors + spec.malformed_records
+        if n_faults > max(spec.horizon - 1, 0):
+            raise ValueError("horizon too small for the requested faults")
+        rng = _site_rng(seed, name)
+        positions = rng.choice(np.arange(1, spec.horizon), size=n_faults,
+                               replace=False)
+        self.error_positions = frozenset(
+            int(p) for p in positions[:spec.transient_errors])
+        self.malformed_positions = frozenset(
+            int(p) for p in positions[spec.transient_errors:])
+        self._fired: set[tuple[str, int]] = set()
+
+    def wrap(self, records: Iterator) -> Iterator:
+        """Interleave the scheduled faults into ``records``.
+
+        A transient error is raised *before* the record at its position
+        is yielded (the record is delivered on the restarted replay); a
+        malformed record is yielded immediately before the real record
+        at its position.
+        """
+        for position, record in enumerate(records):
+            if (position in self.error_positions
+                    and ("error", position) not in self._fired):
+                self._fired.add(("error", position))
+                _count_fault(self.name, "transient_error")
+                raise TransientSourceError(
+                    f"injected transient error in {self.name!r} "
+                    f"at position {position}")
+            if (position in self.malformed_positions
+                    and ("malformed", position) not in self._fired):
+                self._fired.add(("malformed", position))
+                _count_fault(self.name, "malformed_record")
+                yield {"__injected_malformed__": position,
+                       "source": self.name}
+            yield record
+
+
+class FaultPlan:
+    """One seed, every injector — the root of a reproducible chaos run."""
+
+    def __init__(self, seed: int, spec: FaultSpec | None = None) -> None:
+        self.seed = int(seed)
+        self.spec = spec or FaultSpec()
+        self._sources: dict[str, SourceFaults] = {}
+
+    def source(self, name: str,
+               spec: FaultSpec | None = None) -> SourceFaults:
+        """The (memoized) fault schedule for source ``name``.
+
+        Memoization is what lets a supervised restart reuse the same
+        fired-set: ask the plan again, get the same object.
+        """
+        if name not in self._sources:
+            self._sources[name] = SourceFaults(
+                name, self.seed, spec or self.spec)
+        return self._sources[name]
+
+    def failing_calls(self, name: str, failures: int = 1):
+        """A predicate failing the first ``failures`` calls of a site.
+
+        Returns a zero-argument callable that is ``True`` (and counts a
+        ``repro_faults_injected_total{kind="handler_error"}``) for the
+        first ``failures`` invocations and ``False`` afterwards — the
+        minimal deterministic way to make a service handler raise N
+        times and then recover.
+        """
+        state = {"calls": 0}
+
+        def should_fail() -> bool:
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                _count_fault(name, "handler_error")
+                return True
+            return False
+
+        return should_fail
+
+
+# ---------------------------------------------------------------------------
+# Worker-crash injection (crosses process boundaries via the environment)
+# ---------------------------------------------------------------------------
+
+def install_worker_faults(state_dir: str | Path, crashes: int = 1,
+                          mode: str = "raise") -> None:
+    """Arm ``crashes`` chunk-level worker faults for this process tree.
+
+    ``state_dir`` holds one claim file per fired crash, so the budget
+    is shared across all workers (they inherit the environment and
+    race on ``O_EXCL`` claim creation — exactly one winner per slot).
+    ``mode="raise"`` throws :class:`SimulatedWorkerCrash` (a retryable
+    chunk failure); ``mode="exit"`` kills the worker process outright,
+    breaking the pool.
+    """
+    if mode not in ("raise", "exit"):
+        raise ValueError(f"unknown worker-fault mode {mode!r}")
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    os.environ[WORKER_FAULTS_ENV] = f"{state_dir}:{int(crashes)}:{mode}"
+
+
+def clear_worker_faults() -> None:
+    """Disarm worker-crash injection."""
+    os.environ.pop(WORKER_FAULTS_ENV, None)
+
+
+def maybe_inject_worker_fault() -> None:
+    """Fire one armed worker fault, if any budget remains.
+
+    Called by :func:`repro.parallel.parallel_map` workers at chunk
+    start; a no-op unless :func:`install_worker_faults` armed the
+    environment.  Claiming is atomic (``open(..., "x")``), so the
+    total number of fired crashes never exceeds the budget no matter
+    how many workers race.
+    """
+    armed = os.environ.get(WORKER_FAULTS_ENV)
+    if not armed:
+        return
+    state_dir, crashes, mode = armed.rsplit(":", 2)
+    for slot in range(int(crashes)):
+        claim = Path(state_dir) / f"crash-{slot}"
+        try:
+            with open(claim, "x"):
+                pass
+        except FileExistsError:
+            continue
+        _count_fault("parallel", f"worker_{mode}")
+        if mode == "exit":
+            import multiprocessing
+            if multiprocessing.parent_process() is not None:
+                os._exit(WORKER_CRASH_EXIT_CODE)
+            # In the dispatching process itself (serial fallback runs
+            # chunks in-process): never hard-kill the caller — degrade
+            # to a retryable crash instead.
+        raise SimulatedWorkerCrash(
+            f"injected worker crash (slot {slot})")
+
+
+# ---------------------------------------------------------------------------
+# Artifact-store corruption
+# ---------------------------------------------------------------------------
+
+def corrupt_object(store, key: str) -> Path:
+    """Flip bytes of one stored object file (disk layer only).
+
+    Returns the corrupted path.  The store's sha-verification must
+    detect the damage on next load, quarantine the file, and recompute.
+    """
+    if store.root is None:
+        raise ValueError("corrupt_object needs an on-disk store")
+    path = store._object_path(key)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"object {key} is empty")
+    # Flip a byte near the middle: lands in the payload, not just the
+    # header, so verification (not framing) is what must catch it.
+    position = len(data) // 2
+    data[position] ^= 0xFF
+    path.write_bytes(bytes(data))
+    _count_fault("store", "corrupt_object")
+    return path

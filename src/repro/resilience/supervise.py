@@ -1,0 +1,139 @@
+"""Per-source supervision: restart transient failures, quarantine poison.
+
+A supervised source sits between a collector stream and the
+:class:`~repro.live.bus.EventBus`.  It guarantees the bus only ever
+sees well-formed, timestamp-ordered records, and that a transient
+source failure costs a bounded restart instead of the whole run:
+
+* **Malformed records** (wrong type, missing fields, non-finite or
+  out-of-order timestamps) are diverted to the
+  :class:`~repro.resilience.quarantine.Quarantine` dead-letter sink
+  and the stream continues.
+* **Transient errors** (:class:`~repro.resilience.retry.TransientFault`
+  and ``OSError`` by default) trigger an exponential-backoff restart:
+  the supervisor rebuilds the stream from its factory and skips the
+  records it already emitted — the same deterministic-replay
+  assumption checkpoint resume relies on, so the downstream record
+  sequence is bit-identical to a fault-free run.
+* **Exhausted retries** end the source (dead-letter log entry +
+  ``repro_source_dead_total``) without killing the other sources.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import time
+from typing import Callable, Iterator
+
+from ..collection.store import DatasetRecord
+from ..obs import get_registry
+from .quarantine import Quarantine
+from .retry import RetryPolicy, TransientFault
+
+logger = logging.getLogger("repro.resilience")
+
+#: Exception families a supervised restart may heal.
+DEFAULT_TRANSIENT = (TransientFault, OSError)
+
+
+def validate_record(record: object) -> str | None:
+    """Why ``record`` must not reach the bus, or ``None`` if it may.
+
+    Checks the invariants the downstream layers assume: the record is
+    a :class:`DatasetRecord` whose ``created_at`` is a finite number —
+    a NaN timestamp would silently poison the k-way merge ordering and
+    every aggregate downstream.
+    """
+    if not isinstance(record, DatasetRecord):
+        return f"not a DatasetRecord ({type(record).__name__})"
+    created_at = record.created_at
+    if not isinstance(created_at, (int, float)):
+        return f"created_at is {type(created_at).__name__}, not a number"
+    if not math.isfinite(created_at):
+        return f"non-finite created_at ({created_at!r})"
+    return None
+
+
+def supervised_source(name: str,
+                      factory: Callable[[], Iterator],
+                      *,
+                      policy: RetryPolicy | None = None,
+                      quarantine: Quarantine | None = None,
+                      transient: tuple[type[BaseException], ...]
+                      = DEFAULT_TRANSIENT,
+                      sleep: Callable[[float], None] = time.sleep,
+                      ) -> Iterator[DatasetRecord]:
+    """A validated, restartable view of one record source.
+
+    ``factory`` must rebuild the stream from the beginning on each
+    call and replay deterministically — every collector ``stream()``
+    and :func:`~repro.live.bus.jsonl_source` does.  After a transient
+    failure the supervisor restarts the stream, silently skips the
+    valid records it already emitted (invalid ones were quarantined on
+    first sight and do not count), and continues.  Out-of-order
+    records are quarantined rather than forwarded, since the bus
+    treats ordering violations as fatal.
+    """
+    policy = policy or RetryPolicy()
+    sink = quarantine if quarantine is not None else Quarantine()
+    registry = get_registry()
+    emitted = 0
+    last_time = -math.inf
+    restarts = 0
+    while True:
+        stream = factory()
+        # Number of records to fast-forward past: everything delivered
+        # before this (re)start.  Captured up front — ``emitted`` keeps
+        # growing as the stream progresses, so comparing against it
+        # live would skip records that were never delivered.
+        replay_target = emitted
+        try:
+            skipped = 0
+            for record in stream:
+                reason = validate_record(record)
+                if skipped < replay_target:
+                    # Replay of already-delivered records after a
+                    # restart: invalid ones were quarantined when first
+                    # seen, so only valid records advance the skip.
+                    if reason is None:
+                        skipped += 1
+                    continue
+                if reason is None and record.created_at < last_time:
+                    reason = (f"out of order ({record.created_at} after "
+                              f"{last_time})")
+                if reason is not None:
+                    sink.add(name, reason, record)
+                    continue
+                yield record
+                emitted += 1
+                last_time = record.created_at
+            return  # stream ran dry cleanly
+        except transient as exc:
+            # ``max_retries`` bounds restarts here: supervision is the
+            # stream-shaped instance of the same retry discipline.
+            if restarts >= policy.max_retries:
+                registry.counter(
+                    "repro_source_dead_total",
+                    "Supervised sources abandoned after exhausting "
+                    "restarts.", source=name).inc()
+                sink.add(name, f"source dead after {restarts} restarts: "
+                               f"{type(exc).__name__}: {exc}")
+                logger.error(
+                    "source %r dead after %d restarts (%s: %s); "
+                    "%d records were delivered before the failure",
+                    name, restarts, type(exc).__name__, exc, emitted)
+                return
+            delay = policy.delay(restarts)
+            restarts += 1
+            registry.counter(
+                "repro_source_restarts_total",
+                "Supervised source restarts after transient failures.",
+                source=name).inc()
+            logger.warning(
+                "source %r transient failure (%s: %s); restart %d/%d "
+                "in %.3fs, replaying past %d records",
+                name, type(exc).__name__, exc, restarts,
+                policy.max_retries, delay, emitted)
+            if delay > 0:
+                sleep(delay)

@@ -205,6 +205,49 @@ def test_resumed_run_skips_already_seen_records(small_world, tmp_path):
     assert resumed.state_dict() == straight.state_dict()
 
 
+def test_checkpoint_restore_mid_refit_window(small_world, tmp_path):
+    """Restoring between refit windows resumes refits deterministically.
+
+    The refitter's RNG is keyed by ``seed + n_refits`` and its window
+    position by ``records_at_last_refit`` — both checkpointed — so an
+    interrupted run's remaining refits replay bit-identically.
+    """
+    def make_engine(path=None):
+        refitter = WindowedHawkesRefitter(
+            policy=RefitPolicy(every_records=500, max_urls=4,
+                               method="em"),
+            seed=3)
+        return LiveEngine(EventBus(stream_sources(small_world)),
+                          refitter=refitter, checkpoint_path=path,
+                          summary_every=0)
+
+    straight = make_engine()
+    straight.run()
+    assert straight.refitter.n_refits >= 2
+
+    path = tmp_path / "ck.json"
+    partial = make_engine(path)
+    partial.run(limit=700)  # inside the second refit window
+    assert partial.refitter.n_refits == 1
+    assert 0 < partial.refitter.records_at_last_refit <= 700
+
+    resumed = make_engine()
+    resumed.restore(path)
+    assert resumed.refitter.n_refits == 1
+    resumed.run()
+    assert resumed.records_seen == straight.records_seen
+    assert resumed.refitter.n_refits == straight.refitter.n_refits
+    assert resumed.state_dict() == straight.state_dict()
+    a = straight.refitter.last_result
+    b = resumed.refitter.last_result
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert len(a.fits) == len(b.fits)
+        for fit_a, fit_b in zip(a.fits, b.fits):
+            assert fit_a.url == fit_b.url
+            assert np.array_equal(fit_a.weights, fit_b.weights)
+
+
 def test_rolling_summary_format(live_engine):
     summary = live_engine.summary()
     line = summary.format()
