@@ -7,26 +7,24 @@ synthetic world knows which accounts are bots, we can run the
 counterfactual the paper could not: recompute the characterization with
 bot tweets removed and measure the delta.
 
+The world comes from the registered ``bot-amplification`` scenario
+preset (:mod:`repro.scenarios`) — a bot-heavy Twitter population — so
+``Study(scenario="bot-amplification")`` reproduces it anywhere; this
+script only adds the counterfactual analysis on top.
+
 Run:
     python examples/bot_amplification.py
 """
 
+from repro import Study
 from repro.analysis import characterization as chz
 from repro.collection.store import Dataset
 from repro.news.domains import NewsCategory
-from repro.pipeline import generate_and_collect
 from repro.reporting import render_table
-from repro.synthesis import WorldConfig
 
 
 def main() -> None:
-    data = generate_and_collect(WorldConfig(
-        seed=404,
-        n_stories_alternative=700,
-        n_stories_mainstream=2100,
-        n_twitter_users=1200,
-        n_reddit_users=800,
-    ))
+    data = Study(scenario="bot-amplification").data
     world = data.world
     bot_ids = {uid for uid, user in world.twitter.users.items()
                if user.is_bot}

@@ -6,29 +6,26 @@ of the study window: daily news-URL volume per community (Figure 4),
 which platform saw shared stories first (Table 8), and the sequences
 URLs take across platforms (Tables 9-10).
 
+The world comes from the registered ``election-week`` scenario preset
+(:mod:`repro.scenarios`), so ``Study(scenario="election-week")``
+reproduces it anywhere; this script only adds the zoomed analysis.
+
 Run:
     python examples/election_week.py
 """
 
 import numpy as np
 
+from repro import Study
 from repro.analysis import sequences, temporal
 from repro.config import STUDY_END, STUDY_START
 from repro.news.domains import NewsCategory
-from repro.pipeline import generate_and_collect
 from repro.reporting import render_table
-from repro.synthesis import WorldConfig
 from repro.timeutil import SECONDS_PER_DAY, to_datetime, utc
 
 
 def main() -> None:
-    data = generate_and_collect(WorldConfig(
-        seed=1108,
-        n_stories_alternative=800,
-        n_stories_mainstream=2400,
-        n_twitter_users=1000,
-        n_reddit_users=800,
-    ))
+    data = Study(scenario="election-week").data
 
     print("=== Daily alternative-news occurrence around the election ===")
     slices = {

@@ -18,6 +18,9 @@ Quickstart::
     study = Study(seed=7)
     print(study.table(4).render())   # Table 4, computed once, cached
     result = study.influence()       # Section-5 per-URL Hawkes fits
+
+    study = Study(scenario="gab")    # a K=4 preset (repro.scenarios)
+    study.influence()                # 4x4 influence matrices
 """
 
 from importlib import metadata as _metadata
@@ -25,7 +28,7 @@ from importlib import metadata as _metadata
 try:
     __version__ = _metadata.version("repro-web-centipede")
 except _metadata.PackageNotFoundError:  # running from a source checkout
-    __version__ = "1.3.0"
+    __version__ = "1.4.0"
 
 from . import (
     analysis,
@@ -38,9 +41,11 @@ from . import (
     obs,
     parallel,
     platforms,
+    scenarios,
     synthesis,
 )
 from .api import ArtifactStore, Study, StudyService, TableArtifact
+from .scenarios import Scenario, get_scenario, scenario_names
 from .config import HawkesConfig, StudyConfig
 from .core import InfluenceResult, UrlCascade, fit_corpus
 from .core.influence import CorpusSummary, UrlFit, WeightAggregate
@@ -67,12 +72,16 @@ __all__ = [
     "obs",
     "parallel",
     "platforms",
+    "scenarios",
     "synthesis",
     # the session surface
     "ArtifactStore",
+    "Scenario",
     "Study",
     "StudyService",
     "TableArtifact",
+    "get_scenario",
+    "scenario_names",
     # key dataclasses
     "CollectedData",
     "CorpusSummary",

@@ -96,8 +96,14 @@ def first_hop_distribution(named_slices: dict[str, Dataset],
 
 def triplet_distribution(named_slices: dict[str, Dataset],
                          category: NewsCategory) -> list[SequenceShare]:
-    """Table 10: full orderings for URLs present on all three platforms."""
-    return triplet_rows(first_appearances(named_slices, category))
+    """Table 10: full orderings for URLs present on every platform.
+
+    Adapts to K platforms: a URL contributes only when it appeared on
+    all ``len(named_slices)`` slices (the paper's three, or more under
+    a K-platform scenario).
+    """
+    return triplet_rows(first_appearances(named_slices, category),
+                        n_platforms=len(named_slices))
 
 
 def head_of_sequence_share(rows: list[SequenceShare],

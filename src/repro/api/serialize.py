@@ -76,6 +76,39 @@ def experiments_payload(experiments=EXPERIMENTS) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Scenario index (CLI `scenarios list --json` and GET /scenarios)
+# ---------------------------------------------------------------------------
+
+def scenario_payload(scenario) -> dict:
+    """One scenario preset as JSON-ready plain data."""
+    eco = scenario.ecosystem
+    return {
+        "name": scenario.name,
+        "id": scenario.scenario_id,
+        "version": scenario.version,
+        "title": scenario.title,
+        "description": scenario.description,
+        "k": scenario.k,
+        "processes": list(eco.processes),
+        "platforms": [spec.key for spec in eco.platforms],
+        "slices": list(eco.slices),
+        "method": scenario.method,
+        "seed": scenario.world.seed,
+    }
+
+
+def scenarios_payload(scenarios=None) -> dict:
+    """The scenario index (every registered preset, sorted by name)."""
+    if scenarios is None:
+        from ..scenarios import all_scenarios
+        scenarios = all_scenarios()
+    return {
+        "count": len(scenarios),
+        "scenarios": [scenario_payload(s) for s in scenarios],
+    }
+
+
+# ---------------------------------------------------------------------------
 # Influence payloads (GET /influence and live publishing)
 # ---------------------------------------------------------------------------
 

@@ -5,6 +5,7 @@ as JSON::
 
     GET /healthz                         liveness + version
     GET /experiments                     the paper-experiment index
+    GET /scenarios                       the scenario-preset index
     GET /tables/<1-11>                   one paper table
     GET /influence                       Hawkes means / percentages
         ?category=alternative|mainstream
@@ -12,6 +13,9 @@ as JSON::
         ?view=live                       latest live-engine refit
     GET /stages                          stage -> key map + store stats
     GET /metrics                         Prometheus text (?format=json)
+
+Process-name filters validate against the study's ecosystem, so a
+K-platform scenario's service accepts exactly its K process names.
 
 Every cacheable response carries an ``ETag`` derived from the backing
 artifact's content key (a pure hash — conditional requests never
@@ -44,6 +48,7 @@ from .serialize import (
     filter_influence,
     influence_payload,
     payload_key,
+    scenarios_payload,
 )
 from .study import Study
 
@@ -55,7 +60,8 @@ logger = logging.getLogger("repro.api.service")
 #: Path heads the service routes; anything else is labelled "other" so
 #: scanners can't mint unbounded metric label values.
 _KNOWN_ROUTES = frozenset(
-    {"healthz", "experiments", "stages", "tables", "influence", "metrics"})
+    {"healthz", "experiments", "scenarios", "stages", "tables", "influence",
+     "metrics"})
 
 
 def _route_label(path: str) -> str:
@@ -216,6 +222,12 @@ class StudyService:
                 return _Response(304, self._experiments_etag, b"")
             return _Response(200, self._experiments_etag,
                              self._experiments_body)
+        if path in ("/scenarios", "/scenarios/"):
+            body = canonical_bytes(scenarios_payload())
+            etag = f'"{payload_key(scenarios_payload())}"'
+            if _etag_matches(etag.strip('"'), _strip_quotes(if_none_match)):
+                return _Response(304, etag, b"")
+            return _Response(200, etag, body)
         if path in ("/stages", "/stages/"):
             return _Response(200, None, canonical_bytes(
                 {"stages": self.study.keys(),
@@ -326,8 +338,11 @@ class StudyService:
         if category is not None and category not in (
                 "alternative", "mainstream"):
             return _error(400, f"unknown category {category!r}")
+        ecosystem = getattr(self.study, "ecosystem", None)
+        known = (ecosystem.processes if ecosystem is not None
+                 else HAWKES_PROCESSES)
         for process in (source, destination):
-            if process is not None and process not in HAWKES_PROCESSES:
+            if process is not None and process not in known:
                 return _error(400, f"unknown process {process!r}")
         if view == "live":
             key = self.study.store.get_ref(LIVE_INFLUENCE_REF)

@@ -19,6 +19,7 @@ session only adds keying, memoization, and persistence on top.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from time import perf_counter
@@ -27,6 +28,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..config import HawkesConfig, TWITTER_GAPS
+from ..platforms.registry import PAPER_ECOSYSTEM, Ecosystem
 from ..obs import DEFAULT_TIME_BUCKETS, get_registry, span
 from ..core.influence import (
     CorpusSummary,
@@ -89,9 +91,10 @@ class Study:
     """
 
     def __init__(self, world: WorldConfig | None = None, *,
+                 scenario=None,
                  seed: int | None = None,
                  hawkes: HawkesConfig | None = None,
-                 method: FitMethod = "gibbs",
+                 method: FitMethod | None = None,
                  fit_seed: SeedLike = 0,
                  max_urls: int | None = None,
                  gaps: Sequence[Interval] = TWITTER_GAPS,
@@ -102,15 +105,34 @@ class Study:
                  engine: Engine = "per-url",
                  cache_dir=None,
                  store: ArtifactStore | None = None) -> None:
+        # ``scenario`` (a name like "gab", an id like "gab@v1", or a
+        # Scenario object) supplies the defaults for world / hawkes /
+        # method and fixes the ecosystem; explicit arguments override
+        # the scenario's bundle piecewise.
+        if scenario is not None:
+            from ..scenarios import get_scenario
+            scenario = get_scenario(scenario)
+        self.scenario = scenario
+        self.ecosystem: Ecosystem = (scenario.ecosystem if scenario is not None
+                                     else PAPER_ECOSYSTEM)
         if world is None:
-            world = (WorldConfig(seed=seed) if seed is not None
-                     else WorldConfig())
+            if scenario is not None:
+                world = (dataclasses.replace(scenario.world, seed=seed)
+                         if seed is not None else scenario.world)
+            else:
+                world = (WorldConfig(seed=seed) if seed is not None
+                         else WorldConfig())
         elif seed is not None and world.seed != seed:
             raise ValueError(
                 f"seed={seed} conflicts with world.seed={world.seed}; "
                 "pass one or the other")
         self.world_config = world
-        self.hawkes_config = hawkes if hawkes is not None else HawkesConfig()
+        if hawkes is None:
+            hawkes = (scenario.hawkes if scenario is not None
+                      else HawkesConfig())
+        self.hawkes_config = hawkes
+        if method is None:
+            method = scenario.method if scenario is not None else "gibbs"
         if method not in ("gibbs", "em"):
             raise ValueError(f"unknown fit method {method!r}")
         if engine not in ("per-url", "batched"):
@@ -173,23 +195,39 @@ class Study:
 
     def _compute_cascades(self):
         from ..pipeline import influence_cascades
-        return influence_cascades(self._value("data"))
+        return influence_cascades(self._value("data"),
+                                  ecosystem=self.ecosystem)
 
     def _compute_corpus(self):
-        corpus = trim_gap_urls(select_urls(self._value("cascades")),
-                               self.gaps, self.trim_fraction)
+        eco = self.ecosystem
+        corpus = trim_gap_urls(
+            select_urls(self._value("cascades"), processes=eco.processes,
+                        require_all=eco.require_all,
+                        require_any=eco.require_any),
+            self.gaps, self.trim_fraction)
         return corpus if self.max_urls is None else corpus[:self.max_urls]
 
     def _compute_fits(self):
         return fit_corpus(self._value("corpus"), self.hawkes_config,
-                          method=self.method, rng=self._fit_seed_root(),
+                          method=self.method,
+                          processes=self.ecosystem.processes,
+                          rng=self._fit_seed_root(),
                           n_jobs=self.n_jobs,
                           keep_samples=self.keep_samples,
                           engine=self.engine)
 
+    def _world_params(self) -> dict:
+        # The scenario id participates in the root key (and therefore in
+        # every downstream key) so presets cache independently; bare
+        # sessions keep their legacy keys.
+        params = {"config": self.world_config}
+        if self.scenario is not None:
+            params["scenario"] = self.scenario.scenario_id
+        return params
+
     def _stages(self) -> dict[str, _Stage]:
         stages = {
-            "world": _Stage((), lambda s: {"config": s.world_config},
+            "world": _Stage((), Study._world_params,
                             lambda s: build_world(s.world_config)),
             "data": _Stage(("world",),
                            lambda s: {"stream_seed": s.stream_seed},
@@ -366,7 +404,8 @@ class Study:
                 result = self.influence()
         return generate_study_report(
             self.data, include_influence=include_influence,
-            n_jobs=self.n_jobs, corpus=corpus, influence_result=result)
+            n_jobs=self.n_jobs, corpus=corpus, influence_result=result,
+            ecosystem=self.ecosystem)
 
     def write_report(self, path, include_influence: bool = True):
         from pathlib import Path

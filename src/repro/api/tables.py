@@ -60,23 +60,29 @@ def _artifact(table_id: int, columns, rows) -> TableArtifact:
 
 
 def _named_slices(data) -> dict:
-    return {
+    named = {
         "Twitter": data.twitter,
         "Reddit (six selected subreddits)": data.reddit_six,
         "Reddit (other subreddits)": data.reddit_other,
         "4chan (/pol/)": data.pol,
         "4chan (other boards)": data.fourchan_other,
     }
+    named.update(data.extra_slices())
+    return named
 
 
 def _table_1(data):
     world = data.world
-    rows = chz.total_post_shares(
-        {"Twitter": world.twitter.total_posts,
-         "Reddit": world.reddit.total_posts,
-         "4chan": world.fourchan.total_posts},
-        {"Twitter": data.twitter, "Reddit": data.reddit,
-         "4chan": data.fourchan})
+    totals = {"Twitter": world.twitter.total_posts,
+              "Reddit": world.reddit.total_posts,
+              "4chan": world.fourchan.total_posts}
+    datasets = {"Twitter": data.twitter, "Reddit": data.reddit,
+                "4chan": data.fourchan}
+    for spec in world.config.extra_platforms:
+        if spec.key in data.extras:
+            totals[spec.display] = world.extras[spec.key].total_posts
+            datasets[spec.display] = data.extras[spec.key]
+    rows = chz.total_post_shares(totals, datasets)
     return _artifact(1, ["Platform", "Total posts", "% alt", "% main"],
                      [[r.platform, r.total_posts, r.pct_alternative,
                        r.pct_mainstream] for r in rows])
@@ -139,6 +145,8 @@ def _table_8(data):
         "/pol/ vs Twitter": (data.pol, data.twitter),
         "/pol/ vs Reddit6": (data.pol, data.reddit_six),
     }
+    for process, dataset in data.extra_slices().items():
+        pairs[f"{process} vs Twitter"] = (dataset, data.twitter)
     rows = temporal.faster_platform_counts(pairs)
     return _artifact(
         8, ["Comparison", "News type", "#1 faster", "#2 faster"],

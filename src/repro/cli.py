@@ -14,7 +14,13 @@ Usage::
     python -m repro reproduce --table 4                  # one experiment
     python -m repro experiments                          # EXPERIMENTS.md
     python -m repro list [--json]                        # experiment index
+    python -m repro scenarios list [--json]              # scenario presets
+    python -m repro scenarios run gab                    # one preset, KxK
     python -m repro stats --cache DIR --trace FILE       # run metrics
+
+``report``, ``validate``, ``serve``, and ``live`` also accept
+``--scenario NAME``, which swaps in a registered preset's world,
+ecosystem, and fit settings (the world flags are then ignored).
 
 ``-v`` / ``-vv`` (before or after the subcommand) raises the stdlib
 logging level, surfacing live-engine summaries and HTTP access logs
@@ -70,6 +76,13 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
              "(results match per-url EM to floating-point tolerance)")
 
 
+def _add_scenario_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run a registered scenario preset (see `repro scenarios "
+             "list`); the world and Hawkes flags are ignored when set")
+
+
 def _add_cache_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", default=None, metavar="DIR",
@@ -117,14 +130,22 @@ def _study(args: argparse.Namespace, **overrides):
     from .api import Study
     from .config import HawkesConfig
     kwargs = {
-        "world": _world_config(args),
-        "hawkes": HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10),
-        "fit_seed": args.seed,
         "max_urls": getattr(args, "max_urls", None),
         "n_jobs": getattr(args, "jobs", 1),
         "engine": getattr(args, "engine", "per-url"),
         "cache_dir": getattr(args, "cache", None),
     }
+    scenario = getattr(args, "scenario", None)
+    if scenario is not None:
+        # A preset bundles world + ecosystem + Hawkes config + method;
+        # the generic world/seed flags don't apply on this path.
+        kwargs["scenario"] = scenario
+    else:
+        kwargs.update({
+            "world": _world_config(args),
+            "hawkes": HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10),
+            "fit_seed": args.seed,
+        })
     if kwargs["engine"] == "batched":
         # The batched engine only exists for EM; the CLI's default fit
         # method is Gibbs, so --engine batched selects EM rather than
@@ -163,6 +184,13 @@ def cmd_live(args: argparse.Namespace) -> int:
     if args.resume and args.checkpoint is None:
         print("--resume needs --checkpoint", file=sys.stderr)
         return 2
+    scenario = None
+    if args.scenario is not None:
+        from .scenarios import get_scenario
+        scenario = get_scenario(args.scenario)
+        print(f"scenario {scenario.scenario_id} "
+              f"(K={scenario.k}: {', '.join(scenario.ecosystem.processes)})")
+    ecosystem = scenario.ecosystem if scenario is not None else None
     if args.replay:
         factories = []
         taken: set[str] = set()
@@ -176,7 +204,9 @@ def cmd_live(args: argparse.Namespace) -> int:
         from .pipeline import stream_source_factories
         from .synthesis.world import build_world
         print("generating world ...")
-        world = build_world(_world_config(args))
+        config = (scenario.world if scenario is not None
+                  else _world_config(args))
+        world = build_world(config)
         factories = stream_source_factories(world, stream_seed=args.seed)
     quarantine = None
     if args.chaos_seed is not None or args.quarantine is not None:
@@ -205,7 +235,8 @@ def cmd_live(args: argparse.Namespace) -> int:
                                max_urls=args.refit_max_urls,
                                n_jobs=args.jobs,
                                engine=args.engine),
-            seed=args.seed)
+            seed=args.seed,
+            ecosystem=ecosystem)
     publish_store = None
     if args.cache is not None:
         from .api import ArtifactStore
@@ -218,7 +249,8 @@ def cmd_live(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         summary_every=args.summary_every,
-        publish_store=publish_store)
+        publish_store=publish_store,
+        ecosystem=ecosystem)
     if args.resume and Path(args.checkpoint).exists():
         engine.restore()
         print(f"resumed at {engine.records_seen} records "
@@ -235,11 +267,13 @@ def cmd_live(args: argparse.Namespace) -> int:
                 [[r.sequence, str(r.count), f"{r.percentage:.1f}"]
                  for r in rows],
                 title=f"First-hop sequences — {category.value}"))
+    slices = (ecosystem.slices if ecosystem is not None
+              else SEQUENCE_PLATFORMS)
     top = [[name] + [
         f"{row.name} ({row.percentage:.1f}%)"
         for row in engine.domains.top_domains(
             name, NewsCategory.ALTERNATIVE, 3)]
-        for name in SEQUENCE_PLATFORMS]
+        for name in slices]
     width = max(len(row) for row in top)
     print(render_table(
         ["Slice"] + [f"#{i + 1}" for i in range(width - 1)],
@@ -266,6 +300,47 @@ def cmd_list(args: argparse.Namespace) -> int:
         return 0
     for experiment in EXPERIMENTS:
         print(f"{experiment.exp_id:10s} {experiment.title}")
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List scenario presets, or run one end-to-end (KxK influence)."""
+    from .scenarios import all_scenarios, get_scenario
+    if args.action == "list":
+        if args.json:
+            from .api.serialize import scenarios_payload
+            print(json.dumps(scenarios_payload(), indent=2, sort_keys=True))
+            return 0
+        for scenario in all_scenarios():
+            print(f"{scenario.scenario_id:18s} K={scenario.k}  "
+                  f"{scenario.title}")
+        return 0
+    from .api import Study
+    from .news.domains import NewsCategory
+    from .reporting import render_table
+    scenario = get_scenario(args.name)
+    print(f"running {scenario.scenario_id} "
+          f"(K={scenario.k}: {', '.join(scenario.ecosystem.processes)})")
+    study = Study(scenario=scenario, max_urls=args.max_urls,
+                  n_jobs=args.jobs, cache_dir=args.cache)
+    result = study.influence()
+    processes = result.processes
+    for category in (NewsCategory.ALTERNATIVE, NewsCategory.MAINSTREAM):
+        stack = result.weight_stack(category)
+        if not len(stack):
+            continue
+        mean = stack.mean(axis=0)
+        print(render_table(
+            ["W src\\dst"] + list(processes),
+            [[src] + [f"{mean[i, j]:.4f}"
+                      for j in range(len(processes))]
+             for i, src in enumerate(processes)],
+            title=f"Mean weights — {category.value} "
+                  f"({scenario.k}x{scenario.k})"))
+    if args.report is not None:
+        path = study.write_report(args.report)
+        print(f"wrote {path}")
+    _publish_metrics(study)
     return 0
 
 
@@ -326,7 +401,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     study = _study(args)
     service = StudyService(study, host=args.host, port=args.port)
     print(f"serving http://{args.host}:{service.port}/ "
-          "(endpoints: /healthz /experiments /tables/<1-11> "
+          "(endpoints: /healthz /experiments /scenarios /tables/<1-11> "
           "/influence /stages /metrics)")
     stop = threading.Event()
     previous = {}
@@ -424,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     live = sub.add_parser("live", help=cmd_live.__doc__)
     _add_world_args(live)
+    _add_scenario_arg(live)
     live.add_argument("--replay", nargs="+", metavar="JSONL",
                       help="replay saved datasets instead of a new world")
     live.add_argument("--limit", type=int, default=None,
@@ -450,6 +526,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_arg(live)
     live.set_defaults(func=cmd_live)
 
+    scenarios = sub.add_parser("scenarios", help=cmd_scenarios.__doc__)
+    scenario_sub = scenarios.add_subparsers(dest="action", required=True)
+    scenarios_list = scenario_sub.add_parser(
+        "list", help="list registered scenario presets")
+    scenarios_list.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (same serializer as /scenarios)")
+    scenarios_list.set_defaults(func=cmd_scenarios)
+    scenarios_run = scenario_sub.add_parser(
+        "run", help="run one preset and print its KxK weight matrices")
+    scenarios_run.add_argument("name", help='e.g. "gab" or "gab@v1"')
+    scenarios_run.add_argument("--max-urls", type=int, default=120)
+    scenarios_run.add_argument("--report", default=None, metavar="MD",
+                               help="also write the full study report here")
+    _add_jobs_arg(scenarios_run)
+    _add_cache_arg(scenarios_run)
+    scenarios_run.set_defaults(func=cmd_scenarios)
+
     listing = sub.add_parser("list", help=cmd_list.__doc__)
     listing.add_argument("--json", action="store_true",
                          help="machine-readable output (same serializer "
@@ -463,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = sub.add_parser("validate", help=cmd_validate.__doc__)
     _add_world_args(validate)
+    _add_scenario_arg(validate)
     validate.add_argument("--skip-influence", action="store_true")
     validate.add_argument("--max-urls", type=int, default=150)
     _add_jobs_arg(validate)
@@ -472,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help=cmd_report.__doc__)
     _add_world_args(report)
+    _add_scenario_arg(report)
     report.add_argument("--out", default="STUDY_REPORT.md")
     report.add_argument("--skip-influence", action="store_true")
     report.add_argument("--max-urls", type=int, default=120)
@@ -482,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve", help=cmd_serve.__doc__)
     _add_world_args(serve)
+    _add_scenario_arg(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8731)
     serve.add_argument("--max-urls", type=int, default=120)

@@ -10,7 +10,7 @@ recovers engagement counts for still-available tweets.
 from .anonymize import AnonymizationKey, anonymize_dataset
 from .store import Dataset, DatasetRecord, UrlOccurrence, iter_jsonl
 from .streaming import TwitterStreamCollector
-from .crawlers import FourchanCrawler, RedditDumpReader
+from .crawlers import FourchanCrawler, GenericCollector, RedditDumpReader
 from .recrawl import RecrawlStats, TweetRecrawler
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "iter_jsonl",
     "TwitterStreamCollector",
     "FourchanCrawler",
+    "GenericCollector",
     "RedditDumpReader",
     "RecrawlStats",
     "TweetRecrawler",

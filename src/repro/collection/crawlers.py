@@ -16,9 +16,39 @@ from ..config import FOURCHAN_GAPS
 from ..news.classify import extract_news_urls
 from ..news.domains import NewsRegistry, default_registry
 from ..platforms.fourchan import FourchanPlatform
+from ..platforms.generic import GenericPlatform
 from ..platforms.reddit import RedditPlatform
 from ..timeutil import Interval, in_any_interval
 from .store import Dataset, DatasetRecord, UrlOccurrence
+
+
+@dataclass
+class GenericCollector:
+    """Dump-style reader for a scenario-declared generic platform."""
+
+    registry: NewsRegistry = field(default_factory=default_registry)
+
+    def stream(self, platform: GenericPlatform) -> Iterator[DatasetRecord]:
+        """Yield news-URL records one at a time, in timestamp order."""
+        for post in sorted(platform.posts, key=lambda p: p.created_at):
+            news_urls = extract_news_urls(post.text, self.registry)
+            if not news_urls:
+                continue
+            yield DatasetRecord(
+                post_id=post.post_id,
+                platform=platform.key,
+                community=post.community,
+                author_id=post.author_id,
+                created_at=float(post.created_at),
+                urls=tuple(
+                    UrlOccurrence(url=u.url, domain=u.domain,
+                                  category=u.category)
+                    for u in news_urls
+                ),
+            )
+
+    def collect(self, platform: GenericPlatform) -> Dataset:
+        return Dataset(self.stream(platform))
 
 
 @dataclass

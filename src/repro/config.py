@@ -38,33 +38,29 @@ FOURCHAN_GAPS: tuple[Interval, ...] = (
 # ---------------------------------------------------------------------------
 # Communities (the Hawkes processes of Section 5, plus baselines)
 # ---------------------------------------------------------------------------
+# The community literals now live on the platform registry
+# (:mod:`repro.platforms.registry`), where ecosystems beyond the paper's
+# fixed triple are declared.  The names below are deprecated aliases kept
+# for the wide legacy surface; new code should read them from the registry
+# or from an :class:`~repro.platforms.registry.Ecosystem`.
 
-#: The six selected subreddits (Section 3).
-SELECTED_SUBREDDITS: tuple[str, ...] = (
-    "The_Donald",
-    "worldnews",
-    "politics",
-    "news",
-    "conspiracy",
-    "AskReddit",
+from .platforms.registry import (  # noqa: E402  (re-exported aliases)
+    FOURCHAN_BASELINE_BOARDS,
+    FOURCHAN_BOARDS,
+    HAWKES_PROCESSES,
+    PLATFORM_CODES,
+    PLATFORM_POL,
+    PLATFORM_REDDIT,
+    PLATFORM_TWITTER,
+    SELECTED_SUBREDDITS,
+    SEQUENCE_PLATFORMS,
 )
 
-#: 4chan boards studied; /pol/ is primary, the rest are baselines.
-FOURCHAN_BOARDS: tuple[str, ...] = ("pol", "sp", "int", "sci")
-FOURCHAN_BASELINE_BOARDS: tuple[str, ...] = ("sp", "int", "sci")
-
-#: Canonical ordering of the 8 Hawkes processes, matching Fig. 10/11 axes.
-HAWKES_PROCESSES: tuple[str, ...] = SELECTED_SUBREDDITS + ("/pol/", "Twitter")
-
-#: Display names for the coarse platform split used in Tables 8-10.
-PLATFORM_TWITTER = "Twitter"
-PLATFORM_REDDIT = "Reddit"       # six selected subreddits
-PLATFORM_POL = "/pol/"
-SEQUENCE_PLATFORMS: tuple[str, ...] = (PLATFORM_POL, PLATFORM_REDDIT,
-                                       PLATFORM_TWITTER)
-#: Single-letter codes used by the paper's sequence tables.
-PLATFORM_CODES = {PLATFORM_POL: "4", PLATFORM_REDDIT: "R",
-                  PLATFORM_TWITTER: "T"}
+__all_registry_aliases__ = (
+    "SELECTED_SUBREDDITS", "FOURCHAN_BOARDS", "FOURCHAN_BASELINE_BOARDS",
+    "HAWKES_PROCESSES", "PLATFORM_TWITTER", "PLATFORM_REDDIT",
+    "PLATFORM_POL", "SEQUENCE_PLATFORMS", "PLATFORM_CODES",
+)
 
 
 @dataclass(frozen=True)

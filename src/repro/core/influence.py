@@ -120,21 +120,31 @@ class InfluenceResult:
 def select_urls(cascades: Iterable[UrlCascade],
                 processes: Sequence[str] = HAWKES_PROCESSES,
                 subreddits: Sequence[str] = SELECTED_SUBREDDITS,
+                require_all: Sequence[str] | None = None,
+                require_any: Sequence[str] | None = None,
                 ) -> list[UrlCascade]:
-    """Keep URLs with >= 1 event on Twitter, /pol/, and any subreddit.
+    """Keep URLs satisfying the corpus selection rule.
 
-    This is the Section 5.2 selection rule.  Events on processes outside
-    ``processes`` are dropped from the retained cascades.
+    The defaults are the Section 5.2 rule — >= 1 event on Twitter,
+    /pol/, and any of the six subreddits; a scenario ecosystem may
+    supply its own ``require_all`` (every listed process must appear)
+    and ``require_any`` (at least one must appear; an empty sequence
+    disables the clause).  Events on processes outside ``processes``
+    are dropped from the retained cascades.
     """
     allowed = set(processes)
-    subreddit_set = set(subreddits)
+    if require_all is None:
+        require_all = ("Twitter", "/pol/")
+    if require_any is None:
+        require_any = tuple(subreddits)
+    any_set = set(require_any)
     kept: list[UrlCascade] = []
     for cascade in cascades:
         events = tuple((t, name) for t, name in cascade.events
                        if name in allowed)
         present = {name for _, name in events}
-        if ("Twitter" in present and "/pol/" in present
-                and present & subreddit_set):
+        if (all(name in present for name in require_all)
+                and (not any_set or present & any_set)):
             kept.append(UrlCascade(cascade.url, cascade.category, events))
     return kept
 

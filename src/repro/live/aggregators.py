@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from bisect import insort
 from collections import Counter
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..analysis import characterization as chz
 from ..analysis import sequences as seq
@@ -24,6 +24,11 @@ from ..collection.store import DatasetRecord
 from ..config import HAWKES_PROCESSES, SEQUENCE_PLATFORMS
 from ..core.influence import UrlCascade
 from ..news.domains import NewsCategory
+
+#: record -> coarse slice name (or None); the default is the paper's
+#: fixed three-way split.  K-platform scenarios pass their
+#: :meth:`repro.platforms.registry.Ecosystem.slice_of` instead.
+SliceOf = Callable[[DatasetRecord], "str | None"]
 
 
 class _SlicedCounterAggregator:
@@ -33,7 +38,10 @@ class _SlicedCounterAggregator:
     layer query methods on top of ``self.counters``.
     """
 
-    def __init__(self, slices: Iterable[str] = SEQUENCE_PLATFORMS) -> None:
+    def __init__(self, slices: Iterable[str] = SEQUENCE_PLATFORMS,
+                 slice_of: SliceOf | None = None) -> None:
+        self.slice_of = (slice_of if slice_of is not None
+                         else chz.sequence_slice_of)
         self.counters: dict[str, dict[NewsCategory, Counter]] = {
             name: {category: Counter() for category in NewsCategory}
             for name in slices
@@ -44,7 +52,7 @@ class _SlicedCounterAggregator:
         raise NotImplementedError
 
     def update(self, record: DatasetRecord) -> None:
-        slice_name = chz.sequence_slice_of(record)
+        slice_name = self.slice_of(record)
         if slice_name is None or slice_name not in self.counters:
             return
         per_category = self.counters[slice_name]
@@ -96,8 +104,9 @@ class DomainFractionAggregator(_SlicedCounterAggregator):
 class UrlAppearanceAggregator(_SlicedCounterAggregator):
     """Per-slice URL appearance counts (Figure 1)."""
 
-    def __init__(self, slices: Iterable[str] = SEQUENCE_PLATFORMS) -> None:
-        super().__init__(slices)
+    def __init__(self, slices: Iterable[str] = SEQUENCE_PLATFORMS,
+                 slice_of: SliceOf | None = None) -> None:
+        super().__init__(slices, slice_of)
         self._seen: dict[NewsCategory, set[str]] = {
             category: set() for category in NewsCategory}
 
@@ -137,13 +146,17 @@ class FirstHopAggregator:
     computes by batch scan — updated with a running minimum.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, slices: Iterable[str] = SEQUENCE_PLATFORMS,
+                 slice_of: SliceOf | None = None) -> None:
+        self.slices = tuple(slices)
+        self.slice_of = (slice_of if slice_of is not None
+                         else chz.sequence_slice_of)
         self.firsts: dict[NewsCategory, dict[str, dict[str, float]]] = {
             category: {} for category in NewsCategory
         }
 
     def update(self, record: DatasetRecord) -> None:
-        slice_name = chz.sequence_slice_of(record)
+        slice_name = self.slice_of(record)
         if slice_name is None:
             return
         when = record.created_at
@@ -161,8 +174,9 @@ class FirstHopAggregator:
         return seq.first_hop_rows(self.firsts[category])
 
     def triplets(self, category: NewsCategory) -> list[seq.SequenceShare]:
-        """Table 10 rows, identical to batch."""
-        return seq.triplet_rows(self.firsts[category])
+        """Table 10 rows, identical to batch — over all K slices."""
+        return seq.triplet_rows(self.firsts[category],
+                                n_platforms=len(self.slices))
 
     # -- checkpointing ------------------------------------------------------
 
@@ -187,27 +201,35 @@ class CascadeAssembler:
     """Online per-URL cascade assembly feeding :mod:`repro.core.influence`.
 
     Keeps, per URL, the sorted ``(timestamp, process)`` events over the
-    eight Hawkes processes.  Insertion keeps the list ordered (bisect),
-    so a query materializes cascades without re-sorting — the same
-    ``(t, community)`` tuples batch :func:`repro.pipeline.influence_cascades`
-    produces.
+    K Hawkes processes (the paper's eight by default).  Insertion keeps
+    the list ordered (bisect), so a query materializes cascades without
+    re-sorting — the same ``(t, process)`` tuples batch
+    :func:`repro.pipeline.influence_cascades` produces.  ``process_of``
+    routes communities to processes (a K-platform ecosystem's
+    :meth:`~repro.platforms.registry.Ecosystem.process_of`); by default
+    a community is its own process, as in the paper.
     """
 
     def __init__(self,
-                 processes: Iterable[str] = HAWKES_PROCESSES) -> None:
+                 processes: Iterable[str] = HAWKES_PROCESSES,
+                 process_of: Callable[[str], "str | None"] | None = None,
+                 ) -> None:
         self.processes = frozenset(processes)
+        self.process_of = process_of
         self.events: dict[str, list[tuple[float, str]]] = {}
         self.categories: dict[str, NewsCategory] = {}
 
     def update(self, record: DatasetRecord) -> None:
-        if record.community not in self.processes:
+        process = (self.process_of(record.community)
+                   if self.process_of is not None else record.community)
+        if process is None or process not in self.processes:
             return
         when = record.created_at
         for occurrence in record.urls:
             url = occurrence.url
             self.categories.setdefault(url, occurrence.category)
             insort(self.events.setdefault(url, []),
-                   (when, record.community))
+                   (when, process))
 
     # -- queries ------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from time import perf_counter
 
 import numpy as np
 
-from ..config import HawkesConfig
+from ..config import HAWKES_PROCESSES, HawkesConfig
 from ..obs import get_registry
 from ..core.influence import (
     Engine,
@@ -25,6 +25,7 @@ from ..core.influence import (
     select_urls,
     fit_corpus,
 )
+from ..platforms.registry import Ecosystem
 from ..timeutil import SECONDS_PER_DAY
 from .aggregators import CascadeAssembler
 
@@ -60,6 +61,10 @@ class WindowedHawkesRefitter:
     config: HawkesConfig = field(default_factory=lambda: HawkesConfig(
         gibbs_iterations=30, gibbs_burn_in=10))
     seed: int = 0
+    #: Optional K-platform ecosystem: its processes become the fit axes
+    #: and its require_all/require_any rule selects the corpus.  ``None``
+    #: keeps the paper's eight processes and Section 5.2 rule exactly.
+    ecosystem: Ecosystem | None = None
 
     def __post_init__(self) -> None:
         self.last_result: InfluenceResult | None = None
@@ -85,7 +90,15 @@ class WindowedHawkesRefitter:
         window_start = now - self.policy.window_seconds
         settled_before = now - self.policy.quiet_seconds
         cascades = assembler.cascades_between(window_start, settled_before)
-        corpus = select_urls(cascades)[:self.policy.max_urls]
+        if self.ecosystem is None:
+            corpus = select_urls(cascades)[:self.policy.max_urls]
+        else:
+            corpus = select_urls(
+                cascades,
+                processes=self.ecosystem.processes,
+                require_all=self.ecosystem.require_all,
+                require_any=self.ecosystem.require_any,
+            )[:self.policy.max_urls]
         self.last_corpus_size = len(corpus)
         registry = get_registry()
         registry.gauge(
@@ -100,7 +113,10 @@ class WindowedHawkesRefitter:
         # event binning lets their kernel structures carry over.  Worker
         # pools are rebuilt per refit, so the memo only survives (and is
         # only requested) on the in-process n_jobs=1 path.
+        processes = (self.ecosystem.processes if self.ecosystem is not None
+                     else HAWKES_PROCESSES)
         result = fit_corpus(corpus, self.config, method=self.policy.method,
+                            processes=processes,
                             rng=rng, n_jobs=self.policy.n_jobs,
                             memoize_events=self.policy.n_jobs == 1,
                             engine=self.policy.engine)

@@ -27,11 +27,13 @@ from .collection import (
     Dataset,
     DatasetRecord,
     FourchanCrawler,
+    GenericCollector,
     RedditDumpReader,
     RecrawlStats,
     TweetRecrawler,
     TwitterStreamCollector,
 )
+from .platforms.registry import Ecosystem
 from .config import (
     HAWKES_PROCESSES,
     HawkesConfig,
@@ -63,6 +65,8 @@ class CollectedData:
     reddit: Dataset
     fourchan: Dataset
     recrawl: RecrawlStats
+    #: Datasets of scenario-declared generic platforms, keyed by spec key.
+    extras: dict[str, Dataset] = field(default_factory=dict)
 
     # -- canonical slices ---------------------------------------------------
 
@@ -82,21 +86,38 @@ class CollectedData:
     def fourchan_other(self) -> Dataset:
         return chz.slice_other_boards(self.fourchan, "/pol/")
 
+    def extra_slices(self) -> dict[str, Dataset]:
+        """Extra-platform datasets keyed by their process/slice name."""
+        slices: dict[str, Dataset] = {}
+        for spec in self.world.config.extra_platforms:
+            if spec.key in self.extras:
+                slices[spec.process] = self.extras[spec.key]
+        return slices
+
     def sequence_slices(self) -> dict[str, Dataset]:
-        """The three coarse platforms of Tables 8-10 / Figures 7-8."""
-        return {
+        """The coarse platforms of Tables 8-10 / Figures 7-8.
+
+        The paper's three, plus one slice per scenario-declared extra
+        platform (keyed by the extra's process name).
+        """
+        slices = {
             PLATFORM_POL: self.pol,
             PLATFORM_REDDIT: self.reddit_six,
             PLATFORM_TWITTER: self.twitter,
         }
+        slices.update(self.extra_slices())
+        return slices
 
     def merged(self) -> Dataset:
         return Dataset([*self.twitter.records, *self.reddit.records,
-                        *self.fourchan.records])
+                        *self.fourchan.records,
+                        *(record for dataset in self.extras.values()
+                          for record in dataset.records)])
 
     def url_domains(self) -> dict[str, str]:
         domains: dict[str, str] = {}
-        for dataset in (self.twitter, self.reddit, self.fourchan):
+        for dataset in (self.twitter, self.reddit, self.fourchan,
+                        *self.extras.values()):
             for record in dataset:
                 for occurrence in record.urls:
                     domains.setdefault(occurrence.url, occurrence.domain)
@@ -111,8 +132,12 @@ def collect(world: World, stream_seed: int = 0) -> CollectedData:
     fourchan = FourchanCrawler(registry=world.registry).collect(
         world.fourchan)
     recrawl = TweetRecrawler().recrawl(twitter, world.twitter)
+    extras = {
+        key: GenericCollector(registry=world.registry).collect(platform)
+        for key, platform in world.extras.items()
+    }
     return CollectedData(world=world, twitter=twitter, reddit=reddit,
-                         fourchan=fourchan, recrawl=recrawl)
+                         fourchan=fourchan, recrawl=recrawl, extras=extras)
 
 
 def generate_and_collect(config: WorldConfig | None = None) -> CollectedData:
@@ -141,7 +166,7 @@ def stream_source_factories(world: World, stream_seed: int = 0,
     :func:`repro.resilience.supervised_source` needs to restart a
     transiently failed source and skip already-delivered records.
     """
-    return [
+    factories: list[tuple[str, Callable[[], Iterator[DatasetRecord]]]] = [
         ("twitter", lambda: TwitterStreamCollector(
             registry=world.registry,
             seed=stream_seed).stream(world.twitter)),
@@ -150,6 +175,10 @@ def stream_source_factories(world: World, stream_seed: int = 0,
         ("4chan", lambda: FourchanCrawler(
             registry=world.registry).stream(world.fourchan)),
     ]
+    for key, platform in world.extras.items():
+        factories.append((key, lambda platform=platform: GenericCollector(
+            registry=world.registry).stream(platform)))
+    return factories
 
 
 def stream_sources(world: World, stream_seed: int = 0,
@@ -164,19 +193,30 @@ def stream_sources(world: World, stream_seed: int = 0,
             in stream_source_factories(world, stream_seed)]
 
 
-def influence_cascades(data: CollectedData) -> list[UrlCascade]:
-    """Assemble per-URL cascades over the eight Hawkes processes.
+def influence_cascades(data: CollectedData,
+                       ecosystem: Ecosystem | None = None,
+                       ) -> list[UrlCascade]:
+    """Assemble per-URL cascades over the ecosystem's K processes.
 
-    Communities outside the eight processes (other subreddits, other
-    boards) are ignored, matching Section 5.2.
+    Communities the ecosystem maps to no process (other subreddits,
+    other boards) are ignored, matching Section 5.2.  Without an
+    ecosystem, the paper's eight processes apply (each community is its
+    own process); a scenario ecosystem may merge communities into
+    platform-level processes (e.g. the six subreddits into ``Reddit``).
     """
-    allowed = set(HAWKES_PROCESSES)
+    if ecosystem is None:
+        allowed = set(HAWKES_PROCESSES)
+        process_of = (lambda community:
+                      community if community in allowed else None)
+    else:
+        process_of = ecosystem.process_of
     merged = data.merged()
     categories = merged.url_categories()
     cascades: list[UrlCascade] = []
     for url, times in merged.url_timestamps().items():
-        events = tuple((t, community) for t, community in times
-                       if community in allowed)
+        events = tuple((t, process)
+                       for t, community in times
+                       if (process := process_of(community)) is not None)
         if not events:
             continue
         cascades.append(UrlCascade(

@@ -8,13 +8,20 @@ infrastructure crawled the real services.
 """
 
 from .base import Author, Post
+from .generic import GenericPlatform
+from .registry import PAPER_ECOSYSTEM, Ecosystem, PlatformSpec, make_ecosystem
 from .twitter import Tweet, TwitterPlatform, TwitterUser
 from .reddit import RedditComment, RedditPlatform, RedditPost, Subreddit
 from .fourchan import FourchanBoard, FourchanPlatform, FourchanPost, FourchanThread
 
 __all__ = [
     "Author",
+    "Ecosystem",
+    "GenericPlatform",
+    "PAPER_ECOSYSTEM",
+    "PlatformSpec",
     "Post",
+    "make_ecosystem",
     "Tweet",
     "TwitterPlatform",
     "TwitterUser",

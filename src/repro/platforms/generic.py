@@ -1,0 +1,48 @@
+"""A minimal generic forum for scenario-declared extra platforms.
+
+The paper's three platforms have bespoke simulators with the mechanics
+the measurements depend on (retweets, threaded comments, bump-ordered
+ephemeral threads).  A scenario that adds a K-th platform (e.g. Gab in
+the ``gab`` preset) usually only needs the part every analysis layer
+consumes: a time-stamped stream of posts carrying news URLs, plus an
+ambient-traffic total for the Table-1 style overview.
+:class:`GenericPlatform` provides exactly that — a flat forum keyed by
+a :class:`~repro.platforms.registry.PlatformSpec`.
+"""
+
+from __future__ import annotations
+
+from .base import IdAllocator, Post
+
+
+class GenericPlatform:
+    """A flat forum: communities holding plain time-stamped posts."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.posts: list[Post] = []
+        self.ambient_posts = 0
+        self._ids = IdAllocator()
+
+    def submit_post(self, community: str, author_id: str, text: str,
+                    created_at: int) -> Post:
+        post = Post(
+            post_id=self._ids.next_id(f"{self.key}_p"),
+            platform=self.key,
+            community=community,
+            author_id=author_id,
+            created_at=created_at,
+            text=text,
+        )
+        self.posts.append(post)
+        return post
+
+    def record_ambient_posts(self, count: int) -> None:
+        """Account for non-news posts (counted, never materialized)."""
+        if count < 0:
+            raise ValueError("ambient post count must be non-negative")
+        self.ambient_posts += count
+
+    @property
+    def total_posts(self) -> int:
+        return len(self.posts) + self.ambient_posts

@@ -36,6 +36,7 @@ def _section_overview(data) -> str:
         "4chan (/pol/)": data.pol,
         "4chan (other boards)": data.fourchan_other,
     }
+    named.update(data.extra_slices())
     rows = chz.dataset_overview(named)
     table = render_table(
         ["Community", "Posts w/ URLs", "Alt URLs", "Main URLs"],
@@ -86,6 +87,8 @@ def _section_temporal(data) -> str:
         "/pol/ vs Twitter": (data.pol, data.twitter),
         "/pol/ vs Reddit6": (data.pol, data.reddit_six),
     }
+    for process, dataset in data.extra_slices().items():
+        pairs[f"{process} vs Twitter"] = (dataset, data.twitter)
     rows = temporal.faster_platform_counts(pairs)
     table = render_table(
         ["Comparison", "News type", "#1 faster", "#2 faster"],
@@ -111,67 +114,99 @@ def _section_sequences(data) -> str:
 
 
 def _section_influence(data, max_urls: int, seed: int,
-                       n_jobs: int = 1, corpus=None, result=None) -> str:
+                       n_jobs: int = 1, corpus=None, result=None,
+                       ecosystem=None) -> str:
     """Influence section; ``corpus``/``result`` skip recomputation.
 
     A :class:`~repro.api.study.Study` passes its cached corpus and fits
     so the report is a pure rendering step; the legacy path (both
-    ``None``) selects and fits here, exactly as before.
+    ``None``) selects and fits here, exactly as before.  The section
+    adapts to the K processes of ``result`` (or of ``ecosystem`` when
+    fitting here), so K-platform scenarios render correctly.
     """
     from ..core import aggregate_weights, fit_corpus, influence_percentages
-    from ..pipeline import influence_corpus
+    from ..core.influence import select_urls, trim_gap_urls
+    from ..pipeline import influence_cascades, influence_corpus
 
     if corpus is None:
-        corpus = influence_corpus(data, max_urls=max_urls)
+        if ecosystem is None:
+            corpus = influence_corpus(data, max_urls=max_urls)
+        else:
+            from ..config import TWITTER_GAPS
+            corpus = trim_gap_urls(
+                select_urls(influence_cascades(data, ecosystem=ecosystem),
+                            processes=ecosystem.processes,
+                            require_all=ecosystem.require_all,
+                            require_any=ecosystem.require_any),
+                TWITTER_GAPS, 0.10)[:max_urls]
     if len(corpus) < 4:
         return ("## Influence estimation (Section 5)\n\n"
                 "*Too few URLs qualify for the Hawkes corpus.*\n")
     if result is None:
         config = HawkesConfig(gibbs_iterations=30, gibbs_burn_in=10)
-        result = fit_corpus(corpus, config,
+        processes = (ecosystem.processes if ecosystem is not None
+                     else HAWKES_PROCESSES)
+        result = fit_corpus(corpus, config, processes=processes,
                             rng=np.random.default_rng(seed), n_jobs=n_jobs)
     parts = [f"## Influence estimation (Section 5, {len(corpus)} URLs)\n"]
     try:
         agg = aggregate_weights(result)
     except ValueError:
         return parts[0] + "\n*Corpus lacks one of the news categories.*\n"
-    twitter = HAWKES_PROCESSES.index("Twitter")
-    td = HAWKES_PROCESSES.index("The_Donald")
-    pol = HAWKES_PROCESSES.index("/pol/")
+    processes = result.processes
+    k = len(processes)
+    twitter = (processes.index("Twitter") if "Twitter" in processes
+               else k - 1)
+    dest = processes[twitter]
+    # The two highlighted sources: the paper's The_Donald and /pol/ when
+    # present, otherwise the first two non-destination processes.
+    sources = [name for name in ("The_Donald", "/pol/")
+               if name in processes and name != dest]
+    for name in processes:
+        if len(sources) >= 2:
+            break
+        if name != dest and name not in sources:
+            sources.append(name)
     change = agg.percent_change[twitter, twitter]
     # NaN marks cells where the mainstream mean is zero, so the percent
     # change is undefined — render "n/a", never "+nan%".
     change_text = f"{change:+.1f}%" if np.isfinite(change) else "n/a"
     parts.append(
-        f"- W(Twitter→Twitter): {agg.mean_alternative[twitter, twitter]:.4f} "
+        f"- W({dest}→{dest}): {agg.mean_alternative[twitter, twitter]:.4f} "
         f"alternative vs {agg.mean_mainstream[twitter, twitter]:.4f} "
         f"mainstream ({change_text})")
     pct = influence_percentages(result, ALT)
     parts.append(
-        f"- influence on Twitter's alternative events: The_Donald "
-        f"{pct[td, twitter]:.2f}%, /pol/ {pct[pol, twitter]:.2f}%")
+        f"- influence on {dest}'s alternative events: " + ", ".join(
+            f"{name} {pct[processes.index(name), twitter]:.2f}%"
+            for name in sources))
     stars = agg.significance_stars()
     significant = int((stars != "").sum())
-    parts.append(f"- {significant}/64 weight cells differ significantly "
-                 "between categories (KS)")
+    parts.append(f"- {significant}/{k * k} weight cells differ "
+                 "significantly between categories (KS)")
     return "\n".join(parts) + "\n"
 
 
 def generate_study_report(data, include_influence: bool = True,
                           max_urls: int = 120, seed: int = 0,
                           n_jobs: int = 1, corpus=None,
-                          influence_result=None) -> str:
+                          influence_result=None, ecosystem=None) -> str:
     """Render the full study over one :class:`CollectedData`.
 
     ``corpus``/``influence_result`` inject precomputed Section-5
     artifacts (the :meth:`repro.Study.report` path); when omitted the
     influence section computes them itself with ``max_urls``/``seed``.
+    ``ecosystem`` routes a K-platform scenario's processes and
+    selection rule through that fallback; the paper's apply otherwise.
     """
+    extra_counts = "".join(
+        f", {len(dataset)} {process}"
+        for process, dataset in data.extra_slices().items())
     sections = [
         "# Web Centipede study report\n",
         f"Window: {STUDY_START} .. {STUDY_END} (epoch seconds); "
         f"records: {len(data.twitter)} Twitter, {len(data.reddit)} "
-        f"Reddit, {len(data.fourchan)} 4chan.\n",
+        f"Reddit, {len(data.fourchan)} 4chan{extra_counts}.\n",
         _section_overview(data),
         _section_domains(data),
         _section_users(data),
@@ -181,7 +216,8 @@ def generate_study_report(data, include_influence: bool = True,
     if include_influence:
         sections.append(_section_influence(data, max_urls, seed, n_jobs,
                                            corpus=corpus,
-                                           result=influence_result))
+                                           result=influence_result,
+                                           ecosystem=ecosystem))
     return "\n".join(sections)
 
 

@@ -124,13 +124,19 @@ class CascadeEngine:
         boost = np.ones(k)
         if flavor is None:
             return boost
+        extras = set(self.truth.extra_platform_names)
         groups = {
             "twitter": [self.truth.processes.index("Twitter")],
             "pol": [self.truth.processes.index("/pol/"),
                     self.truth.processes.index("4chan-other")],
             "reddit": [i for i, name in enumerate(self.truth.processes)
-                       if name not in ("Twitter", "/pol/", "4chan-other")],
+                       if name not in ("Twitter", "/pol/", "4chan-other")
+                       and name not in extras],
         }
+        # Scenario extras form their own flavor groups, one per platform.
+        for i, name in enumerate(self.truth.processes):
+            if name in extras:
+                groups[name] = [i]
         boost *= self.truth.flavor_damp
         boost[groups[flavor]] = self.truth.flavor_boost
         return boost

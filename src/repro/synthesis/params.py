@@ -155,6 +155,9 @@ class GroundTruth:
     recycle_prob: float = 0.17
     recycle_max_posts: int = 3
     recycle_horizon_days: int = 150
+    #: Scenario-declared generic platforms appended after the aggregate
+    #: processes (see :func:`extend_ground_truth`); empty for the paper.
+    extra_platform_names: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         k = len(PROCESSES)
@@ -227,3 +230,50 @@ def default_ground_truth() -> GroundTruth:
     if _DEFAULT is None:
         _DEFAULT = GroundTruth()
     return _DEFAULT
+
+
+def extend_ground_truth(specs, base: GroundTruth | None = None) -> GroundTruth:
+    """Ground truth extended by scenario-declared generic platforms.
+
+    Each :class:`~repro.platforms.registry.PlatformSpec` in ``specs``
+    appends one process after the paper's ten (eight canonical plus the
+    two aggregates), with its own background rates, self-excitation,
+    and generic cross-couplings — so viral cascades flow onto the extra
+    platform the same way they flow between the paper's communities.
+    """
+    import dataclasses
+
+    if base is None:
+        base = default_ground_truth()
+    specs = tuple(specs)
+    names = tuple(spec.process for spec in specs)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate extra process names in {names!r}")
+    for name in names:
+        if name in base.processes:
+            raise ValueError(f"process {name!r} already in ground truth")
+    k = len(base.processes)
+    n = len(specs)
+
+    def _extend(core: np.ndarray) -> np.ndarray:
+        ext = np.full((k + n, k + n), 0.0)
+        ext[:k, :k] = core
+        for i, spec in enumerate(specs):
+            ext[k + i, :] = spec.coupling          # extra -> everything
+            ext[:, k + i] = spec.incoming_weight   # everything -> extra
+            ext[k + i, k + i] = spec.self_excitation
+        return ext
+
+    return dataclasses.replace(
+        base,
+        processes=base.processes + names,
+        weights_alternative=_extend(base.weights_alternative),
+        weights_mainstream=_extend(base.weights_mainstream),
+        background_alternative=np.concatenate(
+            [base.background_alternative,
+             [spec.background_alternative for spec in specs]]),
+        background_mainstream=np.concatenate(
+            [base.background_mainstream,
+             [spec.background_mainstream for spec in specs]]),
+        extra_platform_names=base.extra_platform_names + names,
+    )

@@ -23,6 +23,8 @@ from ..config import (
 from ..news.articles import Article, ArticleGenerator
 from ..news.domains import NewsCategory, NewsRegistry, default_registry
 from ..platforms.fourchan import FourchanPlatform
+from ..platforms.generic import GenericPlatform
+from ..platforms.registry import PlatformSpec
 from ..platforms.reddit import RedditPlatform
 from ..platforms.twitter import TWEET_MAX_CHARS, TwitterPlatform
 from .cascades import CascadeEngine, StoryCascade
@@ -31,9 +33,16 @@ from .params import (
     OTHER_SUBREDDIT_ALT_SHARES,
     OTHER_SUBREDDIT_MAIN_SHARES,
     default_ground_truth,
+    extend_ground_truth,
 )
 from .stories import StoryArrivals
-from .users import REDDIT_SHAPE, TWITTER_SHAPE, UserPopulation, UserProfile
+from .users import (
+    REDDIT_SHAPE,
+    TWITTER_SHAPE,
+    PopulationShape,
+    UserPopulation,
+    UserProfile,
+)
 
 
 @dataclass
@@ -71,6 +80,15 @@ class WorldConfig:
     #: instead of a named Table-4 subreddit.
     generic_subreddit_prob: float = 0.35
     ground_truth: GroundTruth = field(default_factory=default_ground_truth)
+    #: Scenario-declared generic platforms beyond the paper's triple.
+    #: The ground truth is extended per spec (see
+    #: :func:`repro.synthesis.params.extend_ground_truth`); the RNG
+    #: stream is untouched when this is empty, so legacy worlds are
+    #: bit-identical.
+    extra_platforms: tuple[PlatformSpec, ...] = ()
+    #: Scenario bot-mix overrides; ``None`` keeps the paper shapes.
+    twitter_shape: PopulationShape | None = None
+    reddit_shape: PopulationShape | None = None
 
 
 @dataclass
@@ -85,6 +103,8 @@ class World:
     cascades: list[StoryCascade]
     twitter_users: UserPopulation
     reddit_users: UserPopulation
+    #: Scenario-declared generic platforms, keyed by spec key.
+    extras: dict[str, GenericPlatform] = field(default_factory=dict)
     #: Maps a story URL to its first materialized tweet id (for RTs).
     first_tweet_of_url: dict[str, str] = field(default_factory=dict)
 
@@ -271,9 +291,39 @@ class _FourchanMaterializer:
             self.platform.expire_archives(int(when))
 
 
+class _GenericMaterializer:
+    """Materializer for a scenario-declared generic platform."""
+
+    def __init__(self, world: World, rng: np.random.Generator,
+                 spec: PlatformSpec) -> None:
+        self.world = world
+        self.rng = rng
+        self.spec = spec
+        self.platform = GenericPlatform(spec.key)
+        world.extras[spec.key] = self.platform
+
+    def materialize(self, cascade: StoryCascade, when: float,
+                    community: str) -> None:
+        article = cascade.article
+        author = f"{self.spec.key}_u{int(self.rng.integers(self.spec.n_users))}"
+        self.platform.submit_post(
+            community, author, f"{article.headline}\n{article.url}",
+            int(when))
+
+
 # ---------------------------------------------------------------------------
 # Build
 # ---------------------------------------------------------------------------
+
+def resolve_ground_truth(config: WorldConfig) -> GroundTruth:
+    """The config's ground truth, extended by any extra platforms."""
+    truth = config.ground_truth
+    missing = tuple(spec for spec in config.extra_platforms
+                    if spec.process not in truth.processes)
+    if missing:
+        truth = extend_ground_truth(missing, base=truth)
+    return truth
+
 
 def build_world(config: WorldConfig | None = None) -> World:
     """Generate a complete synthetic world (stories, cascades, posts)."""
@@ -287,12 +337,14 @@ def build_world(config: WorldConfig | None = None) -> World:
         reddit=RedditPlatform(),
         fourchan=FourchanPlatform(),
         cascades=[],
-        twitter_users=UserPopulation("tw_", config.n_twitter_users,
-                                     TWITTER_SHAPE, seed=config.seed),
-        reddit_users=UserPopulation("rd_", config.n_reddit_users,
-                                    REDDIT_SHAPE, seed=config.seed + 1),
+        twitter_users=UserPopulation(
+            "tw_", config.n_twitter_users,
+            config.twitter_shape or TWITTER_SHAPE, seed=config.seed),
+        reddit_users=UserPopulation(
+            "rd_", config.n_reddit_users,
+            config.reddit_shape or REDDIT_SHAPE, seed=config.seed + 1),
     )
-    engine = CascadeEngine(config.ground_truth, rng)
+    engine = CascadeEngine(resolve_ground_truth(config), rng)
     arrivals = StoryArrivals()
     generator = ArticleGenerator(registry, seed=config.seed + 2)
 
@@ -391,6 +443,11 @@ def _materialize(world: World, rng: np.random.Generator) -> None:
     reddit = _RedditMaterializer(world, rng)
     fourchan = _FourchanMaterializer(world, rng)
     subreddits = set(SELECTED_SUBREDDITS)
+    generic: dict[str, _GenericMaterializer] = {}
+    for spec in world.config.extra_platforms:
+        materializer = _GenericMaterializer(world, rng, spec)
+        for community in spec.communities or (spec.process,):
+            generic[community] = materializer
 
     flat: list[tuple[float, str, StoryCascade]] = []
     for cascade in world.cascades:
@@ -405,6 +462,8 @@ def _materialize(world: World, rng: np.random.Generator) -> None:
             reddit.materialize(cascade, when, community)
         elif community in ("/pol/", "4chan-other"):
             fourchan.materialize(cascade, when, community)
+        elif community in generic:
+            generic[community].materialize(cascade, when, community)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown community {community!r}")
     twitter.finalize()
@@ -421,3 +480,7 @@ def _add_ambient_traffic(world: World) -> None:
         int(news_reddit * config.ambient_reddit))
     world.fourchan.record_ambient_posts(
         int(world.fourchan.total_posts * config.ambient_fourchan))
+    for spec in config.extra_platforms:
+        platform = world.extras[spec.key]
+        platform.record_ambient_posts(
+            int(len(platform.posts) * spec.ambient_ratio))
