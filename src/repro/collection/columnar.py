@@ -1,0 +1,407 @@
+"""Columnar record batches: the array-shaped spine of the record flow.
+
+The paper's measurements are bulk aggregations over millions of URL
+occurrences, so records moving through the system one dict at a time
+pay Python-interpreter prices for work that is naturally vectorized.
+A :class:`RecordBatch` is a chunk of :class:`~repro.collection.store.
+DatasetRecord` rows transposed into NumPy column arrays (Arrow-style:
+one array per field, with a CSR offsets array joining each record to
+its variable-length URL occurrences).  Collectors emit batches
+(``stream_batches``), the event bus k-way-merges them by slicing
+(:meth:`RecordBatch.slice` is a zero-copy view), the live aggregators
+update from whole-batch group-bys, and binary checkpoints reuse the
+same columnar layouts.
+
+Exactness contract: a batch is a *representation*, not a
+transformation — ``RecordBatch.from_records(rows).to_records()``
+returns rows equal to the originals, and every consumer that offers a
+batched path is pinned bit-identical to its per-row path by the
+equivalence suites (``tests/test_live_columnar.py``).
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..news.domains import NewsCategory
+from .store import DatasetRecord, UrlOccurrence
+
+#: Canonical category order backing the ``category`` code column.
+CATEGORIES: tuple[NewsCategory, ...] = tuple(NewsCategory)
+_CATEGORY_INDEX = {category: i for i, category in enumerate(CATEGORIES)}
+
+#: Joins (platform, community) into one venue key for group-bys; the
+#: unit separator never appears in platform or community names.
+VENUE_SEP = "\x1f"
+
+_MISSING = object()
+
+
+def _str_array(values: list) -> np.ndarray:
+    """A unicode array even when ``values`` is empty."""
+    if not values:
+        return np.empty(0, dtype="U1")
+    return np.array(values)
+
+
+class RecordBatch:
+    """A timestamp-sorted chunk of dataset records, one array per column.
+
+    Record-level columns (length N): ``created_at`` (f8), ``post_id``,
+    ``platform``, ``community``, ``author_id`` (unicode; ``""`` plus a
+    ``has_author`` bool column encodes ``None``).  Occurrence-level
+    columns (length ``offsets[-1]``): ``url``, ``domain``, ``category``
+    (i8 codes into :data:`CATEGORIES`).  ``offsets`` (i8, length N+1)
+    is the CSR join: record ``i`` owns occurrences
+    ``offsets[i]:offsets[i+1]``.
+
+    Derived group-by scaffolding (occurrence→record index, venue and
+    community factorizations) is computed lazily and cached, so the
+    aggregators sharing one batch never factorize the same column
+    twice.
+    """
+
+    __slots__ = ("created_at", "post_id", "platform", "community",
+                 "author_id", "has_author", "offsets", "url", "domain",
+                 "category", "_cache")
+
+    def __init__(self, *, created_at, post_id, platform, community,
+                 author_id, has_author, offsets, url, domain,
+                 category) -> None:
+        self.created_at = created_at
+        self.post_id = post_id
+        self.platform = platform
+        self.community = community
+        self.author_id = author_id
+        self.has_author = has_author
+        self.offsets = offsets
+        self.url = url
+        self.domain = domain
+        self.category = category
+        self._cache: dict = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[DatasetRecord],
+                     ) -> "RecordBatch":
+        """Transpose a row chunk into columns (the pack step).
+
+        Packing also dictionary-encodes the group-by columns (venues,
+        URLs) and caches the list views consumers iterate — Arrow-style
+        encoded columns are part of the batch representation, so every
+        downstream group-by works on small int codes.
+        """
+        records = list(records)
+        counts = [len(r.urls) for r in records]
+        offsets = np.zeros(len(records) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        occurrences = [u for r in records for u in r.urls]
+        url_list = [u.url for u in occurrences]
+        domain_list = [u.domain for u in occurrences]
+        category_list = [_CATEGORY_INDEX[u.category] for u in occurrences]
+        venue_of: dict[str, int] = {}
+        venue_codes = [venue_of.setdefault(
+            r.platform + VENUE_SEP + r.community, len(venue_of))
+            for r in records]
+        url_of: dict[str, int] = {}
+        url_codes = [url_of.setdefault(url, len(url_of))
+                     for url in url_list]
+        batch = cls(
+            created_at=np.array([r.created_at for r in records],
+                                dtype=np.float64),
+            post_id=_str_array([r.post_id for r in records]),
+            platform=_str_array([r.platform for r in records]),
+            community=_str_array([r.community for r in records]),
+            author_id=_str_array([r.author_id or "" for r in records]),
+            has_author=np.array([r.author_id is not None for r in records],
+                                dtype=bool),
+            offsets=offsets,
+            url=_str_array(url_list),
+            domain=_str_array(domain_list),
+            category=np.array(category_list, dtype=np.int64),
+        )
+        venue_inverse = np.array(venue_codes, dtype=np.int64)
+        comm_of: dict[str, int] = {}
+        venue_comm = [comm_of.setdefault(v.split(VENUE_SEP, 1)[1],
+                                         len(comm_of))
+                      for v in venue_of]
+        remap = np.array(venue_comm or [0], dtype=np.int64)
+        occ_rec = np.repeat(np.arange(len(records), dtype=np.int64),
+                            counts)
+        batch._cache.update(
+            occ_rec=occ_rec,
+            occ_times=batch.created_at[occ_rec],
+            url_list=url_list,
+            domain_list=domain_list,
+            category_list=category_list,
+            venues=(list(venue_of), venue_inverse),
+            communities=(list(comm_of), remap[venue_inverse]),
+            url_codes=(list(url_of), np.array(url_codes,
+                                              dtype=np.int64)),
+        )
+        return batch
+
+    # -- shape --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.created_at)
+
+    @property
+    def n_urls(self) -> int:
+        return len(self.url)
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        """Records ``start:stop`` as a view batch (arrays zero-copy).
+
+        Encoded columns and routing caches carry over: codes slice as
+        views against the parent's uniques tables (a superset is fine —
+        absent codes simply never occur, and every consumer orders its
+        work by stream position, not code order).
+        """
+        lo = int(self.offsets[start])
+        hi = int(self.offsets[stop])
+        view = RecordBatch(
+            created_at=self.created_at[start:stop],
+            post_id=self.post_id[start:stop],
+            platform=self.platform[start:stop],
+            community=self.community[start:stop],
+            author_id=self.author_id[start:stop],
+            has_author=self.has_author[start:stop],
+            offsets=self.offsets[start:stop + 1] - lo,
+            url=self.url[lo:hi],
+            domain=self.domain[lo:hi],
+            category=self.category[lo:hi],
+        )
+        child = view._cache
+        for key, value in self._cache.items():
+            if key in ("url_list", "domain_list", "category_list"):
+                child[key] = value[lo:hi]
+            elif key in ("venues", "communities"):
+                child[key] = (value[0], value[1][start:stop])
+            elif key in ("url_codes", "occ_comm"):
+                child[key] = (value[0], value[1][lo:hi])
+            elif key == "occ_times":
+                child[key] = value[lo:hi]
+            elif key == "occ_rec":
+                child[key] = value[lo:hi] - start
+            elif isinstance(key, tuple) and key[0] == "venue_codes":
+                child[key] = (value[0], value[1][start:stop])
+            elif isinstance(key, tuple) and key[0] == "occ_codes":
+                child[key] = (value[0], value[1][lo:hi])
+        return view
+
+    # -- row view (the batch-of-1 compatibility shim) -----------------------
+
+    def iter_records(self) -> Iterator[DatasetRecord]:
+        """Reconstruct the rows — the per-row compatibility path."""
+        created = self.created_at.tolist()
+        post_ids = self.post_id.tolist()
+        platforms = self.platform.tolist()
+        communities = self.community.tolist()
+        authors = self.author_id.tolist()
+        has_author = self.has_author.tolist()
+        offsets = self.offsets.tolist()
+        urls = self.url.tolist()
+        domains = self.domain.tolist()
+        categories = self.category.tolist()
+        for i in range(len(created)):
+            yield DatasetRecord(
+                post_id=post_ids[i],
+                platform=platforms[i],
+                community=communities[i],
+                author_id=authors[i] if has_author[i] else None,
+                created_at=created[i],
+                urls=tuple(
+                    UrlOccurrence(url=urls[j], domain=domains[j],
+                                  category=CATEGORIES[categories[j]])
+                    for j in range(offsets[i], offsets[i + 1])),
+            )
+
+    def __iter__(self) -> Iterator[DatasetRecord]:
+        return self.iter_records()
+
+    def to_records(self) -> list[DatasetRecord]:
+        return list(self.iter_records())
+
+    # -- cached group-by scaffolding ----------------------------------------
+
+    def occurrence_record_index(self) -> np.ndarray:
+        """Occurrence → owning-record index (inverse of ``offsets``)."""
+        index = self._cache.get("occ_rec")
+        if index is None:
+            index = np.repeat(np.arange(len(self), dtype=np.int64),
+                              np.diff(self.offsets))
+            self._cache["occ_rec"] = index
+        return index
+
+    def venue_table(self) -> tuple[list[str], np.ndarray]:
+        """Factorized (platform, community) venues.
+
+        Returns ``(venues, inverse)``: ``venues[inverse[i]]`` is record
+        ``i``'s ``platform + VENUE_SEP + community`` key, in
+        first-occurrence order.  Consumers must not depend on table
+        order, only on stream order.
+        """
+        table = self._cache.get("venues")
+        if table is None:
+            code_of: dict[str, int] = {}
+            codes = [code_of.setdefault(p + VENUE_SEP + c, len(code_of))
+                     for p, c in zip(self.platform.tolist(),
+                                     self.community.tolist())]
+            table = (list(code_of), np.array(codes, dtype=np.int64))
+            self._cache["venues"] = table
+        return table
+
+    def community_table(self) -> tuple[list[str], np.ndarray]:
+        """Factorized communities (first-occurrence order).
+
+        Derived from :meth:`venue_table`: communities are refactorized
+        over the handful of venues, then broadcast with one int gather.
+        """
+        table = self._cache.get("communities")
+        if table is None:
+            venues, inverse = self.venue_table()
+            code_of: dict[str, int] = {}
+            venue_comm = [code_of.setdefault(v.split(VENUE_SEP, 1)[1],
+                                             len(code_of))
+                          for v in venues]
+            remap = np.array(venue_comm or [0], dtype=np.int64)
+            table = (list(code_of), remap[inverse])
+            self._cache["communities"] = table
+        return table
+
+    def url_codes(self) -> tuple[list[str], np.ndarray]:
+        """Factorized occurrence URLs (first-occurrence order).
+
+        Returns ``(uniques, codes)`` with one int code per occurrence;
+        within-chunk URL repetition (cascades) makes per-unique work
+        much cheaper than per-occurrence work.
+        """
+        table = self._cache.get("url_codes")
+        if table is None:
+            code_of: dict[str, int] = {}
+            codes = [code_of.setdefault(url, len(code_of))
+                     for url in self.url_list()]
+            table = (list(code_of), np.array(codes, dtype=np.int64))
+            self._cache["url_codes"] = table
+        return table
+
+    def _cached_list(self, key: str, array_of) -> list:
+        values = self._cache.get(key)
+        if values is None:
+            values = self._cache[key] = array_of().tolist()
+        return values
+
+    def url_list(self) -> list[str]:
+        """``url.tolist()``, shared by every consumer of this batch."""
+        return self._cached_list("url_list", lambda: self.url)
+
+    def domain_list(self) -> list[str]:
+        """``domain.tolist()``, shared by every consumer of this batch."""
+        return self._cached_list("domain_list", lambda: self.domain)
+
+    def category_list(self) -> list[int]:
+        """``category.tolist()`` (codes into :data:`CATEGORIES`)."""
+        return self._cached_list("category_list", lambda: self.category)
+
+    def occurrence_times(self) -> np.ndarray:
+        """Per-occurrence timestamps (owning record's ``created_at``)."""
+        times = self._cache.get("occ_times")
+        if times is None:
+            times = self._cache["occ_times"] = (
+                self.created_at[self.occurrence_record_index()])
+        return times
+
+    def occurrence_community_codes(self) -> tuple[list[str], np.ndarray]:
+        """Per-occurrence community codes: ``(communities, codes)``."""
+        table = self._cache.get("occ_comm")
+        if table is None:
+            communities, inverse = self.community_table()
+            codes = inverse[self.occurrence_record_index()]
+            table = self._cache["occ_comm"] = (communities, codes)
+        return table
+
+
+def batch_records(records: Iterable[DatasetRecord], batch_size: int = 512,
+                  ) -> Iterator[RecordBatch]:
+    """Pack a record iterator into column chunks of ``batch_size`` rows.
+
+    Never yields an empty batch; the final chunk may be short.  Order
+    is preserved, so a timestamp-ordered row stream yields
+    timestamp-ordered batches the event bus can splice-merge.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, not {batch_size}")
+    buffer: list[DatasetRecord] = []
+    for record in records:
+        buffer.append(record)
+        if len(buffer) >= batch_size:
+            yield RecordBatch.from_records(buffer)
+            buffer = []
+    if buffer:
+        yield RecordBatch.from_records(buffer)
+
+
+def venue_slice_codes(batch: RecordBatch,
+                      slice_of: Callable[[DatasetRecord], "str | None"],
+                      memo: dict,
+                      ) -> tuple[list[str], np.ndarray]:
+    """Per-record slice routing, evaluated once per distinct venue.
+
+    Both routing functions in the system —
+    :func:`repro.analysis.characterization.sequence_slice_of` and
+    :meth:`repro.platforms.registry.Ecosystem.slice_of` — depend only
+    on ``(platform, community)``, so one probe record per venue
+    reproduces the per-record answers exactly.  ``memo`` (venue key →
+    slice name or ``None``) persists across batches on the caller.
+
+    Returns ``(names, codes)``: record ``i`` belongs to slice
+    ``names[codes[i]]``, or to no slice when ``codes[i] == -1``.
+
+    The result is cached on the batch per ``slice_of`` identity, so
+    aggregators sharing one routing function factorize a batch once.
+    """
+    cache_key = ("venue_codes", id(slice_of))
+    cached = batch._cache.get(cache_key)
+    if cached is not None:
+        return cached
+    venues, inverse = batch.venue_table()
+    if not venues:
+        result = ([], np.empty(0, dtype=np.int64))
+        batch._cache[cache_key] = result
+        return result
+    for venue in venues:
+        if venue not in memo:
+            platform, community = venue.split(VENUE_SEP, 1)
+            memo[venue] = slice_of(DatasetRecord(
+                post_id="", platform=platform, community=community,
+                author_id=None, created_at=0.0, urls=()))
+    name_list = ([memo[venues[0]]] if len(venues) == 1
+                 else itemgetter(*venues)(memo))
+    code_of: dict[str, int] = {}
+    codes = np.array(
+        [-1 if name is None else code_of.setdefault(name, len(code_of))
+         for name in name_list], dtype=np.int64)
+    result = (list(code_of), codes[inverse])
+    batch._cache[cache_key] = result
+    return result
+
+
+def occurrence_slice_codes(batch: RecordBatch,
+                           slice_of: Callable[[DatasetRecord],
+                                              "str | None"],
+                           memo: dict,
+                           ) -> tuple[list[str], np.ndarray]:
+    """:func:`venue_slice_codes` broadcast to the occurrence axis."""
+    cache_key = ("occ_codes", id(slice_of))
+    cached = batch._cache.get(cache_key)
+    if cached is not None:
+        return cached
+    names, record_codes = venue_slice_codes(batch, slice_of, memo)
+    result = (names, record_codes[batch.occurrence_record_index()])
+    batch._cache[cache_key] = result
+    return result

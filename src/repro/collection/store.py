@@ -10,9 +10,13 @@ from __future__ import annotations
 
 import json
 import logging
+import re
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from .columnar import RecordBatch
 
 from ..news.domains import NewsCategory
 
@@ -186,28 +190,21 @@ class TruncatedRecordError(MalformedRecordError):
     """
 
 
-def iter_jsonl(path: str | Path, *,
-               on_malformed: str = "raise",
-               ) -> Iterator[DatasetRecord]:
-    """Stream records from a JSONL file one line at a time.
+def _source_family(path: Path) -> str:
+    """Collapse shard-numbered files onto one metric label.
 
-    Never materializes the whole file; usable directly as an event-bus
-    source for replaying a saved dataset (see :mod:`repro.live.bus`).
-
-    ``on_malformed`` controls what happens when a line does not parse:
-
-    * ``"raise"`` (default) — raise :class:`MalformedRecordError`
-      naming the file and line number, or the sharper
-      :class:`TruncatedRecordError` when the bad line is the *last*
-      line and lacks its trailing newline (the signature of a torn
-      final write).
-    * ``"skip"`` — log a warning, count the line in
-      ``repro_ingest_malformed_total``, and continue with the next.
+    ``tweets-00017.jsonl``, ``tweets-00018.jsonl`` and ``tweets.jsonl``
+    all report as ``tweets``, the same way the quarantine metrics label
+    by source rather than by individual file, so per-shard filenames
+    don't explode the label space.
     """
-    if on_malformed not in ("raise", "skip"):
-        raise ValueError(f"on_malformed must be 'raise' or 'skip', "
-                         f"not {on_malformed!r}")
-    path = Path(path)
+    stem = path.stem
+    return re.sub(r"[-_.#]*\d[\d\-_.#]*$", "", stem) or stem
+
+
+def _iter_jsonl_rows(path: Path, on_malformed: str,
+                     ) -> Iterator[DatasetRecord]:
+    family = _source_family(path)
     with path.open("r", encoding="utf-8") as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -232,7 +229,46 @@ def iter_jsonl(path: str | Path, *,
                 get_registry().counter(
                     "repro_ingest_malformed_total",
                     "JSONL lines skipped because they failed to parse.",
-                    reason=reason).inc()
+                    source=family, reason=reason).inc()
                 logging.getLogger("repro.collection").warning(
                     "skipping %s record at %s:%d (%s: %s)",
                     reason, path, lineno, type(exc).__name__, exc)
+
+
+def iter_jsonl(path: str | Path, *,
+               on_malformed: str = "raise",
+               batch_size: int | None = None,
+               ) -> "Iterator[DatasetRecord] | Iterator[RecordBatch]":
+    """Stream records from a JSONL file one line at a time.
+
+    Never materializes the whole file; usable directly as an event-bus
+    source for replaying a saved dataset (see :mod:`repro.live.bus`).
+
+    ``on_malformed`` controls what happens when a line does not parse:
+
+    * ``"raise"`` (default) — raise :class:`MalformedRecordError`
+      naming the file and line number, or the sharper
+      :class:`TruncatedRecordError` when the bad line is the *last*
+      line and lacks its trailing newline (the signature of a torn
+      final write).
+    * ``"skip"`` — log a warning, count the line in
+      ``repro_ingest_malformed_total{source,reason}`` (``source`` is
+      the file's shard family: ``tweets-00017`` counts as ``tweets``),
+      and continue with the next.
+
+    With ``batch_size=N`` the same validated stream is packed into
+    columnar :class:`~repro.collection.columnar.RecordBatch` chunks of
+    up to ``N`` records each (the last may be shorter); malformed
+    handling is identical because packing happens downstream of the
+    per-line validation above.
+    """
+    if on_malformed not in ("raise", "skip"):
+        raise ValueError(f"on_malformed must be 'raise' or 'skip', "
+                         f"not {on_malformed!r}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, not {batch_size}")
+    rows = _iter_jsonl_rows(Path(path), on_malformed)
+    if batch_size is None:
+        return rows
+    from .columnar import batch_records  # circular at module load
+    return batch_records(rows, batch_size)

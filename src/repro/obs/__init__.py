@@ -17,6 +17,7 @@ Metrics catalog, stage by stage
     repro_live_ingest_records_per_second    gauge      rolling ingest throughput
     repro_live_stream_time_seconds          gauge      stream-time high-water mark
     repro_live_merge_depth                  gauge      k-way merge heap size
+    repro_live_batch_records                histogram  records per columnar batch
     repro_live_refit_seconds                histogram  windowed Hawkes refit wall time
     repro_live_refit_corpus_urls            gauge      URLs in the last refit window
     repro_live_checkpoint_seconds           histogram  checkpoint save wall time
@@ -64,7 +65,7 @@ hardens) ::
 
     repro_faults_injected_total{site,kind}  counter    deterministic injected faults
     repro_ingest_quarantined_total{source,reason} counter  dead-lettered records
-    repro_ingest_malformed_total{reason}    counter    JSONL lines skipped on parse failure
+    repro_ingest_malformed_total{source,reason} counter  JSONL lines skipped on parse failure
     repro_source_restarts_total{source}     counter    supervised source restarts
     repro_source_dead_total{source}         counter    sources abandoned after retries
     repro_retry_attempts_total{site}        counter    retry_call re-invocations

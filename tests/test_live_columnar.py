@@ -1,0 +1,455 @@
+"""The columnar spine: batches, the chunked merge, and binary checkpoints.
+
+The contract under test everywhere here is *exactness*: the columnar
+path (`RecordBatch` + `EventBus.event_batches` + `update_batch`) is an
+execution strategy, not an approximation, so every comparison is
+``==`` on full state dicts — values and dict/Counter key order — never
+a tolerance.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collection.columnar import RecordBatch, batch_records
+from repro.collection.store import (
+    DatasetRecord,
+    UrlOccurrence,
+    iter_jsonl,
+    _source_family,
+)
+from repro.live import (
+    EventBus,
+    LiveEngine,
+    dataset_batch_source,
+    jsonl_batch_source,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.live.checkpoint import CHECKPOINT_VERSION
+from repro.news.domains import NewsCategory
+from repro.obs import get_registry
+from repro.timeutil import SECONDS_PER_DAY
+
+ALT = NewsCategory.ALTERNATIVE
+MAIN = NewsCategory.MAINSTREAM
+
+
+def _record(i, t, platform="twitter", community="Twitter",
+            author=None, urls=1):
+    return DatasetRecord(
+        post_id=f"p{i}", platform=platform, community=community,
+        author_id=author, created_at=float(t),
+        urls=tuple(UrlOccurrence(f"http://x.com/{i}/{j}", "x.com", ALT)
+                   for j in range(urls)))
+
+
+# ---------------------------------------------------------------------------
+# RecordBatch pack / slice round-trips
+# ---------------------------------------------------------------------------
+
+class TestRecordBatch:
+    def test_pack_roundtrips_records(self):
+        records = [_record(0, 1.0, urls=2),
+                   _record(1, 2.0, "reddit", "politics", author="u1"),
+                   _record(2, 2.0, "4chan", "/pol/", urls=0),
+                   _record(3, 5.5, author="u2", urls=3)]
+        batch = RecordBatch.from_records(records)
+        assert len(batch) == 4
+        assert batch.to_records() == records
+        assert list(batch.iter_records()) == records
+        assert list(batch) == records
+
+    def test_slice_is_the_sublist(self):
+        records = [_record(i, i * 1.0, urls=i % 3) for i in range(10)]
+        batch = RecordBatch.from_records(records)
+        for start, stop in ((0, 10), (0, 3), (3, 7), (9, 10), (4, 4)):
+            assert batch.slice(start, stop).to_records() \
+                == records[start:stop]
+
+    def test_slice_preserves_consumer_results(self):
+        # Cache propagation through slice() must not change what the
+        # aggregators compute: a sliced batch and a freshly packed one
+        # leave identical engine state.
+        records = [_record(i, float(i // 2), community=f"c{i % 3}",
+                           urls=1 + i % 2) for i in range(20)]
+        whole = RecordBatch.from_records(records)
+        sliced = whole.slice(5, 15)
+        fresh = RecordBatch.from_records(records[5:15])
+        a, b = LiveEngine(summary_every=0), LiveEngine(summary_every=0)
+        a.process_batch(sliced, "s")
+        b.process_batch(fresh, "s")
+        assert a.state_dict() == b.state_dict()
+
+    def test_batch_records_chunking(self):
+        records = [_record(i, float(i)) for i in range(7)]
+        chunks = list(batch_records(iter(records), 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [r for c in chunks for r in c.iter_records()] == records
+        assert list(batch_records(iter([]), 3)) == []
+        with pytest.raises(ValueError):
+            list(batch_records(iter(records), 0))
+
+
+# ---------------------------------------------------------------------------
+# The chunked k-way merge
+# ---------------------------------------------------------------------------
+
+class TestBatchMerge:
+    def _sources(self):
+        # Heavy timestamp ties across sources: the splice must break
+        # them exactly like the row merge (registration order, then
+        # arrival order within a source).
+        a = [_record(i, t) for i, t in enumerate([1.0, 1.0, 2.0, 2.0, 9.0])]
+        b = [_record(i + 10, t, "reddit", "politics")
+             for i, t in enumerate([1.0, 2.0, 2.0, 3.0])]
+        c = [_record(i + 20, t, "4chan", "/pol/")
+             for i, t in enumerate([0.5, 2.0, 8.0, 8.0, 8.0, 10.0])]
+        return [("tw", a), ("rd", b), ("4c", c)]
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 64])
+    def test_flattened_batches_equal_row_merge(self, batch_size):
+        row_bus = EventBus([(n, iter(rs)) for n, rs in self._sources()])
+        expected = list(row_bus.events())
+
+        col_bus = EventBus()
+        for name, records in self._sources():
+            col_bus.add_batch_source(
+                name, batch_records(iter(records), batch_size))
+        got = [(name, record)
+               for name, chunk in col_bus.event_batches(batch_size)
+               for record in chunk.iter_records()]
+        assert got == expected
+
+    def test_mixed_row_and_batch_sources(self):
+        (na, a), (nb, b), (nc, c) = self._sources()
+        row_bus = EventBus([(na, iter(a)), (nb, iter(b)), (nc, iter(c))])
+        expected = list(row_bus.events())
+
+        mixed = EventBus()
+        mixed.add_source(na, iter(a))
+        mixed.add_batch_source(nb, batch_records(iter(b), 2))
+        mixed.add_source(nc, iter(c))
+        got = [(name, record) for name, chunk in mixed.event_batches(4)
+               for record in chunk.iter_records()]
+        assert got == expected
+        # ... and the row drain flattens batch sources the same way.
+        mixed2 = EventBus()
+        mixed2.add_source(na, iter(a))
+        mixed2.add_batch_source(nb, batch_records(iter(b), 2))
+        mixed2.add_source(nc, iter(c))
+        assert list(mixed2.events()) == expected
+
+    def test_unordered_batch_source_rejected(self):
+        bad = [_record(0, 5.0), _record(1, 4.0)]
+        bus = EventBus()
+        bus.add_batch_source("bad", batch_records(iter(bad), 8))
+        with pytest.raises(ValueError, match="not timestamp-ordered"):
+            list(bus.event_batches(8))
+
+
+# ---------------------------------------------------------------------------
+# Property: columnar engine == row engine, any chunk boundaries
+# ---------------------------------------------------------------------------
+
+_venues = st.sampled_from([
+    ("twitter", "Twitter"),
+    ("reddit", "politics"),
+    ("reddit", "The_Donald"),
+    ("reddit", "sub_0001"),          # outside the six subreddits
+    ("4chan", "/pol/"),
+    ("4chan", "/sp/"),               # outside /pol/
+])
+_domains = st.sampled_from([("breitbart.com", ALT), ("rt.com", ALT),
+                            ("nytimes.com", MAIN)])
+_times = st.floats(0, 10 * SECONDS_PER_DAY, allow_nan=False)
+_events = st.lists(
+    st.tuples(_times, _venues, _domains, st.integers(0, 5)), max_size=60)
+
+
+def _stream(events):
+    records = []
+    for i, (t, (platform, community), (domain, category), path) in enumerate(
+            sorted(events, key=lambda e: e[0])):
+        records.append(DatasetRecord(
+            post_id=f"p{i}", platform=platform, community=community,
+            author_id=f"u{i % 3}", created_at=t,
+            urls=(UrlOccurrence(f"http://{domain}/{path}", domain,
+                                category),)))
+    return records
+
+
+@given(_events, st.sampled_from([1, 2, 3, 7, 64]))
+@settings(max_examples=30, deadline=None)
+def test_columnar_engine_equals_row_engine(events, batch_size):
+    records = _stream(events)
+
+    row = LiveEngine(EventBus([("replay", iter(records))]),
+                     summary_every=0)
+    row.run()
+
+    bus = EventBus()
+    bus.add_batch_source("replay", batch_records(iter(records), batch_size))
+    columnar = LiveEngine(bus, summary_every=0, batch_size=batch_size)
+    columnar.run()
+
+    assert columnar.state_dict() == row.state_dict()
+
+
+@given(_events, st.integers(0, 59), st.sampled_from([1, 3, 16]))
+@settings(max_examples=20, deadline=None)
+def test_binary_checkpoint_restore_resume_equals_json(tmp_path_factory,
+                                                      events, cut,
+                                                      batch_size):
+    """binary save → restore → columnar resume == a JSON-checkpointed
+    row run, state-for-state."""
+    records = _stream(events)
+    cut = min(cut, len(records))
+    tmp = tmp_path_factory.mktemp("ck")
+
+    interrupted = LiveEngine(summary_every=0)
+    for record in records[:cut]:
+        interrupted.process(record)
+    save_checkpoint(tmp / "ck.bin", interrupted.state_dict(),
+                    fmt="binary")
+    save_checkpoint(tmp / "ck.json", interrupted.state_dict(),
+                    fmt="json")
+    assert load_checkpoint(tmp / "ck.bin") \
+        == load_checkpoint(tmp / "ck.json")
+
+    resumed = LiveEngine(summary_every=0, batch_size=batch_size)
+    resumed.load_state(load_checkpoint(tmp / "ck.bin"))
+    for chunk in batch_records(iter(records[cut:]), batch_size):
+        resumed.process_batch(chunk, "replay")
+
+    straight = LiveEngine(summary_every=0)
+    for record in records:
+        straight.process(record)
+    assert resumed.state_dict() == straight.state_dict()
+
+
+def test_columnar_engine_chunk_spans_refit_window_edge(collected):
+    """A chunk straddling the refit boundary must split there: the
+    refit sees exactly the records before the edge, so columnar refits
+    reproduce the row path's bit-for-bit."""
+    from repro.live import RefitPolicy, WindowedHawkesRefitter
+
+    records = sorted(collected.merged(),
+                     key=lambda r: r.created_at)[:1200]
+
+    def run(batch_size):
+        refitter = WindowedHawkesRefitter(
+            policy=RefitPolicy(every_records=500, max_urls=4,
+                               method="em"),
+            seed=3)
+        bus = EventBus()
+        if batch_size is None:
+            bus.add_source("replay", iter(records))
+        else:
+            bus.add_batch_source(
+                "replay", batch_records(iter(records), batch_size))
+        engine = LiveEngine(bus, refitter=refitter, summary_every=0,
+                            batch_size=batch_size)
+        engine.run()
+        return engine
+
+    row = run(None)
+    assert row.refitter.n_refits >= 2  # the edge is actually crossed
+    columnar = run(512)  # 512 does not divide 500: chunks span edges
+    assert columnar.refitter.n_refits == row.refitter.n_refits
+    assert columnar.state_dict() == row.state_dict()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint formats
+# ---------------------------------------------------------------------------
+
+class TestCheckpointFormats:
+    def _engine_state(self):
+        records = _stream([(float(i), ("twitter", "Twitter"),
+                            ("breitbart.com", ALT), i % 4)
+                           for i in range(40)]
+                          + [(float(i) + 0.5, ("4chan", "/pol/"),
+                              ("rt.com", ALT), i % 3)
+                             for i in range(30)])
+        engine = LiveEngine(EventBus([("replay", iter(records))]),
+                            summary_every=0)
+        engine.run()
+        return engine.state_dict()
+
+    def test_binary_equals_json_loaded_state(self, tmp_path):
+        state = self._engine_state()
+        save_checkpoint(tmp_path / "ck.json", state)
+        save_checkpoint(tmp_path / "ck.bin", state, fmt="binary")
+        from_json = load_checkpoint(tmp_path / "ck.json")
+        from_binary = load_checkpoint(tmp_path / "ck.bin")
+        assert from_binary == from_json == state
+        # Key order is part of the contract (Counter.most_common ties).
+        assert json.dumps(from_binary, sort_keys=False) \
+            == json.dumps(from_json, sort_keys=False)
+
+    def test_binary_is_sha256_framed_and_smaller(self, tmp_path,
+                                                 collected):
+        from repro.api.store import OBJECT_MAGIC
+        # Size only wins at realistic state sizes (npz has fixed
+        # per-array overhead), so measure on the collected world.
+        engine = LiveEngine(EventBus(
+            [("m", iter(sorted(collected.merged(),
+                               key=lambda r: r.created_at)))]),
+            summary_every=0)
+        engine.run()
+        state = engine.state_dict()
+        json_path = save_checkpoint(tmp_path / "ck.json", state)
+        bin_path = save_checkpoint(tmp_path / "ck.bin", state,
+                                   fmt="binary")
+        raw = bin_path.read_bytes()
+        assert raw.startswith(OBJECT_MAGIC)
+        assert bin_path.stat().st_size < json_path.stat().st_size
+        assert load_checkpoint(bin_path) == load_checkpoint(json_path)
+
+    def test_binary_detects_corruption(self, tmp_path):
+        from repro.api.store import CorruptObjectError
+        state = self._engine_state()
+        path = save_checkpoint(tmp_path / "ck.bin", state, fmt="binary")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptObjectError):
+            load_checkpoint(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown checkpoint format"):
+            save_checkpoint(tmp_path / "ck", {"records_seen": 0},
+                            fmt="npz")
+
+    def test_binary_rejects_non_finite_like_json(self, tmp_path):
+        state = {"records_seen": 1, "by_source": {}, "stream_time": 0.0,
+                 "cascades": {"events": {"u": [[float("nan"), "Twitter"]]},
+                              "categories": {"u": "alternative"}}}
+        for fmt in ("json", "binary"):
+            with pytest.raises(ValueError):
+                save_checkpoint(tmp_path / f"ck.{fmt}", state, fmt=fmt)
+            # the failed write never leaves a temp file behind
+            assert list(tmp_path.iterdir()) == []
+
+    def test_binary_rejects_unknown_version(self, tmp_path, monkeypatch):
+        import repro.live.checkpoint as ck
+        state = self._engine_state()
+        monkeypatch.setattr(ck, "CHECKPOINT_VERSION", 99)
+        path = save_checkpoint(tmp_path / "ck.bin", state, fmt="binary")
+        monkeypatch.setattr(ck, "CHECKPOINT_VERSION", CHECKPOINT_VERSION)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_engine_checkpoints_binary_and_row_engine_reads_it(
+            self, tmp_path):
+        records = _stream([(float(i), ("reddit", "politics"),
+                            ("nytimes.com", MAIN), i)
+                           for i in range(50)])
+        path = tmp_path / "ck.bin"
+        engine = LiveEngine(
+            EventBus([("replay", iter(records))]),
+            checkpoint_path=path, checkpoint_every=0, summary_every=0,
+            checkpoint_format="binary")
+        engine.run()
+        engine.checkpoint()
+        restored = LiveEngine(summary_every=0)
+        restored.restore(path)
+        assert restored.state_dict() == engine.state_dict()
+
+
+# ---------------------------------------------------------------------------
+# iter_jsonl batch mode + malformed-family labels
+# ---------------------------------------------------------------------------
+
+class TestIterJsonlBatches:
+    def _write(self, path, records, extra_lines=()):
+        lines = [r.to_json() for r in records] + list(extra_lines)
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_batches_flatten_to_rows(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        records = [_record(i, float(i)) for i in range(10)]
+        self._write(path, records)
+        chunks = list(iter_jsonl(path, batch_size=4))
+        assert all(isinstance(c, RecordBatch) for c in chunks)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [r for c in chunks for r in c.iter_records()] \
+            == list(iter_jsonl(path))
+
+    def test_batch_mode_skip_labels_by_source_family(self, tmp_path):
+        path = tmp_path / "tweets-00017.jsonl"
+        records = [_record(i, float(i)) for i in range(5)]
+        self._write(path, records, extra_lines=["{broken"])
+        counter = get_registry().counter(
+            "repro_ingest_malformed_total",
+            source="tweets", reason="malformed")
+        before = counter.value
+        chunks = list(iter_jsonl(path, on_malformed="skip", batch_size=2))
+        assert [r for c in chunks for r in c.iter_records()] == records
+        assert counter.value == before + 1
+
+    def test_batch_mode_raise_names_line(self, tmp_path):
+        from repro.collection.store import MalformedRecordError
+        path = tmp_path / "data.jsonl"
+        self._write(path, [_record(0, 1.0)], extra_lines=["nope"])
+        with pytest.raises(MalformedRecordError, match="data.jsonl:2"):
+            list(iter_jsonl(path, batch_size=8))
+
+    def test_batch_size_validated_eagerly(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        self._write(path, [_record(0, 1.0)])
+        with pytest.raises(ValueError, match="batch_size"):
+            iter_jsonl(path, batch_size=0)
+        with pytest.raises(ValueError, match="on_malformed"):
+            iter_jsonl(path, on_malformed="bogus")
+
+    @pytest.mark.parametrize("name,family", [
+        ("tweets-00017", "tweets"),
+        ("tweets_2016.12", "tweets"),
+        ("reddit", "reddit"),
+        ("4chan", "4chan"),          # leading digits are not a shard id
+        ("2016", "2016"),            # all digits: keep the stem
+    ])
+    def test_source_family(self, name, family, tmp_path):
+        assert _source_family(tmp_path / f"{name}.jsonl") == family
+
+
+# ---------------------------------------------------------------------------
+# Ready-made batch sources + collectors
+# ---------------------------------------------------------------------------
+
+def test_batch_sources_match_row_sources(tmp_path, collected):
+    merged = collected.merged()
+    rows = [r for _, r in EventBus(
+        [("m", iter(sorted(merged, key=lambda r: r.created_at)))]).events()]
+
+    from_memory = [r for b in dataset_batch_source(merged, 256)
+                   for r in b.iter_records()]
+    assert from_memory == rows
+
+    path = tmp_path / "m.jsonl"
+    merged.save_jsonl(path)
+    from_disk = [r for b in jsonl_batch_source(path, batch_size=256)
+                 for r in b.iter_records()]
+    assert sorted(from_disk, key=lambda r: r.created_at) == rows
+
+
+def test_collectors_stream_batches(small_world):
+    from repro.collection import (
+        FourchanCrawler,
+        RedditDumpReader,
+        TwitterStreamCollector,
+    )
+    for collector, platform in (
+            (TwitterStreamCollector(), small_world.twitter),
+            (RedditDumpReader(), small_world.reddit),
+            (FourchanCrawler(), small_world.fourchan)):
+        rows = list(collector.stream(platform))
+        batches = list(collector.stream_batches(platform, batch_size=128))
+        assert [r for b in batches for r in b.iter_records()] == rows
+        assert all(len(b) <= 128 for b in batches)
+        times = np.array([r.created_at for r in rows])
+        assert (np.diff(times) >= 0).all()
